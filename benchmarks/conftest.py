@@ -1,0 +1,15 @@
+"""Benchmark-suite configuration.
+
+Each file regenerates one paper table/figure (see DESIGN.md's experiment
+index). Scale with REPRO_SCALE=small|medium (default small). Results are
+printed and saved under benchmarks/results/.
+"""
+
+import pytest
+
+from repro.bench.harness import get_scale
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return get_scale()

@@ -1,0 +1,10 @@
+"""Ablation bench: drift (see repro.bench.experiments_model.ablation_drift)."""
+
+from repro.bench.experiments_model import ablation_drift
+from repro.bench.harness import print_and_save
+
+
+def test_ablation_drift(benchmark, scale):
+    table = benchmark.pedantic(ablation_drift, args=(scale,), rounds=1, iterations=1)
+    print_and_save("ablation_drift", table)
+    assert "Ablation" in table

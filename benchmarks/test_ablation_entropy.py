@@ -1,0 +1,10 @@
+"""Ablation — SZ3 entropy backend (Huffman+LZ vs range coder)."""
+
+from repro.bench.experiments import ablation_entropy
+from repro.bench.harness import print_and_save
+
+
+def test_ablation_entropy(benchmark, scale):
+    table = benchmark.pedantic(ablation_entropy, args=(scale,), rounds=1, iterations=1)
+    print_and_save("ablation_entropy", table)
+    assert "huffman" in table and "range" in table

@@ -1,0 +1,10 @@
+"""Ablation bench: fixed_rate (see repro.bench.experiments_model.ablation_fixed_rate)."""
+
+from repro.bench.experiments_model import ablation_fixed_rate
+from repro.bench.harness import print_and_save
+
+
+def test_ablation_fixed_rate(benchmark, scale):
+    table = benchmark.pedantic(ablation_fixed_rate, args=(scale,), rounds=1, iterations=1)
+    print_and_save("ablation_fixed_rate", table)
+    assert "Ablation" in table

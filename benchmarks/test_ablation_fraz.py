@@ -1,0 +1,10 @@
+"""Ablation bench: fraz (see repro.bench.experiments_model.ablation_fraz)."""
+
+from repro.bench.experiments_model import ablation_fraz
+from repro.bench.harness import print_and_save
+
+
+def test_ablation_fraz(benchmark, scale):
+    table = benchmark.pedantic(ablation_fraz, args=(scale,), rounds=1, iterations=1)
+    print_and_save("ablation_fraz", table)
+    assert "Ablation" in table

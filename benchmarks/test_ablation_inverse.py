@@ -1,0 +1,10 @@
+"""Ablation — learned forest model vs per-input curve inversion."""
+
+from repro.bench.experiments import ablation_inverse
+from repro.bench.harness import print_and_save
+
+
+def test_ablation_inverse(benchmark, scale):
+    table = benchmark.pedantic(ablation_inverse, args=(scale,), rounds=1, iterations=1)
+    print_and_save("ablation_inverse", table)
+    assert "inversion" in table

@@ -1,0 +1,10 @@
+"""Ablation — alternative ML model families for the error-bound model."""
+
+from repro.bench.experiments import ablation_models
+from repro.bench.harness import print_and_save
+
+
+def test_ablation_models(benchmark, scale):
+    table = benchmark.pedantic(ablation_models, args=(scale,), rounds=1, iterations=1)
+    print_and_save("ablation_models", table)
+    assert "forest" in table and "knn" in table

@@ -1,0 +1,10 @@
+"""Ablation — surrogate sampling-rate sweep (design-choice bench)."""
+
+from repro.bench.experiments import ablation_sampling
+from repro.bench.harness import print_and_save
+
+
+def test_ablation_sampling(benchmark, scale):
+    table = benchmark.pedantic(ablation_sampling, args=(scale,), rounds=1, iterations=1)
+    print_and_save("ablation_sampling", table)
+    assert "sampling" in table

@@ -1,0 +1,39 @@
+"""Compressor throughput microbenchmarks (performance regression tracking).
+
+Unlike the table/figure harnesses (single-shot experiments), these use
+pytest-benchmark's normal multi-round mode so throughput regressions in the
+codecs show up as statistically meaningful deltas. The grouping mirrors the
+paper's split: high-throughput (szx, cuszp, zfp) vs high-ratio (sz3, sperr).
+"""
+
+import numpy as np
+import pytest
+
+from repro.compressors import get_compressor
+from repro.data import load_field
+
+
+@pytest.fixture(scope="module")
+def field(scale):
+    return load_field("miranda/viscosity", **scale.dataset_kwargs("miranda"))
+
+
+@pytest.mark.parametrize("name", ["szx", "cuszp", "zfp", "sz3", "sperr"])
+def test_compress_throughput(benchmark, field, name):
+    codec = get_compressor(name)
+    eb = field.relative_error_bound(1e-2)
+    benchmark.group = "compress"
+    result = benchmark(codec.compress, field.data, eb)
+    benchmark.extra_info["ratio"] = round(result.ratio, 2)
+    benchmark.extra_info["MB"] = round(field.nbytes / 1e6, 2)
+    assert result.ratio > 1.0
+
+
+@pytest.mark.parametrize("name", ["szx", "cuszp", "zfp", "sz3", "sperr"])
+def test_roundtrip_throughput(benchmark, field, name):
+    codec = get_compressor(name)
+    eb = field.relative_error_bound(1e-2)
+    compressed = codec.compress(field.data, eb)
+    benchmark.group = "decompress"
+    out = benchmark(codec.decompress, compressed)
+    assert np.abs(out - field.data).max() <= eb

@@ -1,0 +1,10 @@
+"""Figure 10 — real vs SECRE vs calibrated compression-ratio curves."""
+
+from repro.bench.experiments import fig10_calibrated_curves
+from repro.bench.harness import print_and_save
+
+
+def test_fig10_calibrated_curves(benchmark, scale):
+    table = benchmark.pedantic(fig10_calibrated_curves, args=(scale,), rounds=1, iterations=1)
+    print_and_save("fig10_calibrated_curves", table)
+    assert "calibrated" in table

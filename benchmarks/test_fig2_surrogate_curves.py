@@ -1,0 +1,10 @@
+"""Figure 2 — f(e) estimated by the full compressor vs SECRE, with runtimes."""
+
+from repro.bench.experiments import fig2_surrogate_curves
+from repro.bench.harness import print_and_save
+
+
+def test_fig2_surrogate_curves(benchmark, scale):
+    table = benchmark.pedantic(fig2_surrogate_curves, args=(scale,), rounds=1, iterations=1)
+    print_and_save("fig2_surrogate_curves", table)
+    assert "szx" in table and "sperr" in table

@@ -1,0 +1,10 @@
+"""Figure 3 — SPERR estimation-error curves before/after calibration."""
+
+from repro.bench.experiments import fig3_calibration_curves
+from repro.bench.harness import print_and_save
+
+
+def test_fig3_calibration_curves(benchmark, scale):
+    table = benchmark.pedantic(fig3_calibration_curves, args=(scale,), rounds=1, iterations=1)
+    print_and_save("fig3_calibration_curves", table)
+    assert "miranda/density" in table and "duct" in table

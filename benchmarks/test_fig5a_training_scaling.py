@@ -1,0 +1,10 @@
+"""Figure 5a — training time vs training-set size (grid vs BO vs BO-warm)."""
+
+from repro.bench.experiments_model import fig5a_training_scaling
+from repro.bench.harness import print_and_save
+
+
+def test_fig5a_training_scaling(benchmark, scale):
+    table = benchmark.pedantic(fig5a_training_scaling, args=(scale,), rounds=1, iterations=1)
+    print_and_save("fig5a_training_scaling", table)
+    assert "BO warm" in table

@@ -1,0 +1,10 @@
+"""Figure 5b — n_estimators trajectory over BO iterations, six datasets."""
+
+from repro.bench.experiments_model import fig5b_bo_convergence
+from repro.bench.harness import print_and_save
+
+
+def test_fig5b_bo_convergence(benchmark, scale):
+    table = benchmark.pedantic(fig5b_bo_convergence, args=(scale,), rounds=1, iterations=1)
+    print_and_save("fig5b_bo_convergence", table)
+    assert "miranda" in table and "mrs" in table

@@ -1,0 +1,10 @@
+"""Figure 6 — feature-extraction variants vs compressor runtimes on NYX."""
+
+from repro.bench.experiments_model import fig6_feature_extraction
+from repro.bench.harness import print_and_save
+
+
+def test_fig6_feature_extraction(benchmark, scale):
+    table = benchmark.pedantic(fig6_feature_extraction, args=(scale,), rounds=1, iterations=1)
+    print_and_save("fig6_feature_extraction", table)
+    assert "Serial-Full" in table and "simulated" in table

@@ -1,0 +1,10 @@
+"""Figure 7 — multi-domain requested vs achieved compression ratios."""
+
+from repro.bench.experiments_model import fig7_multi_domain
+from repro.bench.harness import print_and_save
+
+
+def test_fig7_multi_domain(benchmark, scale):
+    table = benchmark.pedantic(fig7_multi_domain, args=(scale,), rounds=1, iterations=1)
+    print_and_save("fig7_multi_domain", table)
+    assert "requested" in table

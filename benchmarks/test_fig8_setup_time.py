@@ -1,0 +1,10 @@
+"""Figure 8 — setup (collection + training) time, FXRZ vs CAROL."""
+
+from repro.bench.experiments_model import fig8_setup_time
+from repro.bench.harness import print_and_save
+
+
+def test_fig8_setup_time(benchmark, scale):
+    table = benchmark.pedantic(fig8_setup_time, args=(scale,), rounds=1, iterations=1)
+    print_and_save("fig8_setup_time", table)
+    assert "speedup" in table

@@ -1,0 +1,10 @@
+"""Figure 9 — per-dataset feature-extraction time, FXRZ vs CAROL."""
+
+from repro.bench.experiments_model import fig9_inference_time
+from repro.bench.harness import print_and_save
+
+
+def test_fig9_inference_time(benchmark, scale):
+    table = benchmark.pedantic(fig9_inference_time, args=(scale,), rounds=1, iterations=1)
+    print_and_save("fig9_inference_time", table)
+    assert "CAROL" in table

@@ -1,0 +1,42 @@
+"""Surrogate-estimation and feature-extraction throughput microbenchmarks."""
+
+import numpy as np
+import pytest
+
+from repro.data import load_field
+from repro.features.parallel import extract_features_parallel
+from repro.features.serial import extract_features_serial
+from repro.surrogate import get_surrogate
+
+
+@pytest.fixture(scope="module")
+def field(scale):
+    return load_field("miranda/viscosity", **scale.dataset_kwargs("miranda"))
+
+
+@pytest.fixture(scope="module")
+def ebs(field, scale):
+    return scale.rel_ebs(6) * field.value_range
+
+
+@pytest.mark.parametrize("name", ["szx", "zfp", "sz3", "sperr", "cuszp"])
+def test_surrogate_curve_throughput(benchmark, field, ebs, name):
+    surrogate = get_surrogate(name)
+    benchmark.group = "surrogate-curve"
+    ratios, _ = benchmark(surrogate.estimate_curve, field.data, ebs)
+    assert (ratios > 0).all()
+
+
+@pytest.mark.parametrize(
+    "extractor,kwargs",
+    [
+        (extract_features_serial, {"stride": None}),
+        (extract_features_serial, {"stride": 4}),
+        (extract_features_parallel, {}),
+    ],
+    ids=["serial-full", "serial-sampled", "parallel"],
+)
+def test_feature_extraction_throughput(benchmark, field, extractor, kwargs):
+    benchmark.group = "features"
+    feats, _ = benchmark(extractor, field.data, **kwargs)
+    assert np.isfinite(feats).all()

@@ -1,0 +1,10 @@
+"""Table 3 — single-domain estimation error, FXRZ vs CAROL on NYX fields."""
+
+from repro.bench.experiments_model import tab3_single_domain
+from repro.bench.harness import print_and_save
+
+
+def test_tab3_single_domain(benchmark, scale):
+    table = benchmark.pedantic(tab3_single_domain, args=(scale,), rounds=1, iterations=1)
+    print_and_save("tab3_single_domain", table)
+    assert "Average" in table

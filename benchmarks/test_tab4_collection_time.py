@@ -1,0 +1,10 @@
+"""Table 4 — training-data collection time: full compressor vs SECRE."""
+
+from repro.bench.experiments import tab4_collection_time
+from repro.bench.harness import print_and_save
+
+
+def test_tab4_collection_time(benchmark, scale):
+    table = benchmark.pedantic(tab4_collection_time, args=(scale,), rounds=1, iterations=1)
+    print_and_save("tab4_collection_time", table)
+    assert "Speedup" in table

@@ -1,0 +1,10 @@
+"""Table 5 — calibration effectiveness: speedup and alpha vs #points."""
+
+from repro.bench.experiments import tab5_calibration
+from repro.bench.harness import print_and_save
+
+
+def test_tab5_calibration(benchmark, scale):
+    table = benchmark.pedantic(tab5_calibration, args=(scale,), rounds=1, iterations=1)
+    print_and_save("tab5_calibration", table)
+    assert "SZ3" in table and "SPERR" in table

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Quickstart: fixed-ratio compression with CAROL in ~40 lines.
+
+Fits CAROL on the Miranda turbulence dataset for the SZ3 compressor, then
+compresses an unseen field to a requested compression ratio. Run:
+
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import CarolFramework, get_compressor, load_dataset, load_field
+
+SHAPE = (24, 32, 32)  # scaled-down Miranda (paper: 256x384x384)
+
+
+def main() -> None:
+    # 1. Training data: a few fields of the target application.
+    train_fields = load_dataset("miranda", shape=SHAPE)
+    print(f"training on {len(train_fields)} Miranda fields, shape {SHAPE}")
+
+    # 2. Set up CAROL for the SZ3 compressor. fit() collects surrogate
+    #    (SECRE) curves, calibrates them with a few full-compressor runs,
+    #    and trains the error-bound model with Bayesian optimization.
+    carol = CarolFramework(
+        compressor="sz3",
+        rel_error_bounds=np.geomspace(1e-3, 1e-1, 10),
+        n_iter=6,
+    )
+    report = carol.fit(train_fields)
+    print(
+        f"setup: collection {report.collection_seconds:.2f}s + "
+        f"training {report.training_seconds:.2f}s "
+        f"({report.n_rows} training rows)"
+    )
+
+    # 3. Request a fixed compression ratio on an unseen field.
+    test = load_field("miranda/viscosity", shape=SHAPE, seed=777)
+    target = 20.0
+    result, prediction = carol.compress_to_ratio(test.data, target_ratio=target)
+    print(
+        f"requested ratio {target:.1f} -> predicted error bound "
+        f"{prediction.error_bound:.4g} -> achieved ratio {result.ratio:.1f}"
+    )
+
+    # 4. The stream decompresses within the predicted error bound.
+    recon = get_compressor("sz3").decompress(result)
+    max_err = float(np.abs(recon - test.data).max())
+    print(f"max reconstruction error {max_err:.4g} (bound {prediction.error_bound:.4g})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Use case 1 (paper Section 1): shared-storage budgeting on a cluster.
+
+A scientist has a fixed storage quota for one simulation campaign. Given
+the quota and the set of output fields, CAROL picks per-field error bounds
+so the *total* compressed size lands on the quota — the thing plain
+error-bounded compression cannot do, because its output size is unknown in
+advance.
+
+Run: python examples/storage_budget.py
+"""
+
+import numpy as np
+
+from repro import CarolFramework, get_compressor, load_dataset
+
+SHAPE = (24, 32, 32)
+COMPRESSOR = "sperr"
+
+
+def main() -> None:
+    train = load_dataset("miranda", shape=SHAPE)[:5]
+    campaign = load_dataset("miranda", shape=SHAPE, seed=2024)  # new run's outputs
+
+    carol = CarolFramework(
+        compressor=COMPRESSOR, rel_error_bounds=np.geomspace(1e-3, 1e-1, 10), n_iter=6
+    )
+    carol.fit(train)
+
+    total_raw = sum(f.nbytes for f in campaign)
+    quota = total_raw // 12  # the campaign must fit in 1/12 of its raw size
+    per_field_target = total_raw / quota  # uniform target ratio
+
+    print(f"campaign: {len(campaign)} fields, {total_raw/1e6:.1f} MB raw")
+    print(f"quota: {quota/1e6:.2f} MB -> target ratio {per_field_target:.1f}x\n")
+
+    codec = get_compressor(COMPRESSOR)
+    used = 0
+    rows = []
+    for field in campaign:
+        # safety=1.0 biases toward overshooting the ratio by one model-
+        # uncertainty sigma: a smaller file is fine, busting the quota isn't.
+        result, pred = carol.compress_to_ratio(field.data, per_field_target, safety=1.0)
+        used += result.compressed_bytes
+        rows.append((field.name, pred.error_bound, result.ratio, result.compressed_bytes))
+
+    print(f"{'field':<14} {'error bound':>12} {'achieved':>9} {'bytes':>10}")
+    for name, eb, ratio, nbytes in rows:
+        print(f"{name:<14} {eb:>12.4g} {ratio:>8.1f}x {nbytes:>10}")
+
+    print(
+        f"\ntotal compressed: {used/1e6:.2f} MB vs quota {quota/1e6:.2f} MB "
+        f"({100*used/quota:.0f}% of quota)"
+    )
+    if used <= quota * 1.25:
+        print("within 25% of the quota without any trial-and-error recompression.")
+    else:
+        print("overshoot — rerun with a higher target ratio for the largest fields.")
+
+
+if __name__ == "__main__":
+    main()

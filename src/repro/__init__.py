@@ -1,0 +1,85 @@
+"""repro — reproduction of CAROL (ICPP'24), a ratio-controlled
+lossy-compression framework, with every substrate built from scratch.
+
+Quickstart::
+
+    import numpy as np
+    from repro import CarolFramework, load_dataset
+
+    train = load_dataset("miranda")
+    carol = CarolFramework(compressor="sz3")
+    carol.fit(train)
+    test = load_dataset("nyx")[0]
+    result, pred = carol.compress_to_ratio(test.data, target_ratio=30.0)
+    print(result.ratio, pred.error_bound)
+
+Main entry points:
+
+- :class:`CarolFramework` / :class:`FxrzFramework` — the ratio-controlled
+  frameworks (paper contribution / baseline);
+- :func:`get_compressor` — the four error-bounded compressors
+  (szx / zfp / sz3 / sperr);
+- :func:`get_surrogate` — the SECRE ratio estimators;
+- :func:`load_dataset` / :func:`load_field` — synthetic SDRBench-like data.
+"""
+
+from repro.compressors import (
+    CompressionResult,
+    LossyCompressor,
+    available_compressors,
+    get_compressor,
+)
+from repro.core import (
+    CalibrationInfo,
+    Calibrator,
+    CarolFramework,
+    ErrorBoundModel,
+    FxrzFramework,
+    TrainingCollector,
+    TrainingData,
+    estimation_error,
+    invert_curve,
+)
+from repro.core.config import FrameworkConfig
+from repro.core.feedback import FeedbackLoop
+from repro.core.fraz import FrazSearch
+from repro.core.selector import CompressorSelector
+from repro.core.quality import max_abs_error, nrmse, psnr, rmse
+from repro.utils.serialization import load_framework, save_framework
+from repro.data import DATASET_NAMES, Field, load_dataset, load_field
+from repro.surrogate import available_surrogates, get_surrogate
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CarolFramework",
+    "FxrzFramework",
+    "Calibrator",
+    "CalibrationInfo",
+    "TrainingCollector",
+    "TrainingData",
+    "ErrorBoundModel",
+    "estimation_error",
+    "invert_curve",
+    "LossyCompressor",
+    "CompressionResult",
+    "get_compressor",
+    "available_compressors",
+    "get_surrogate",
+    "available_surrogates",
+    "Field",
+    "load_dataset",
+    "load_field",
+    "DATASET_NAMES",
+    "FeedbackLoop",
+    "FrazSearch",
+    "FrameworkConfig",
+    "CompressorSelector",
+    "psnr",
+    "rmse",
+    "nrmse",
+    "max_abs_error",
+    "save_framework",
+    "load_framework",
+    "__version__",
+]

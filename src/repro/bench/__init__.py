@@ -1,0 +1,13 @@
+"""Benchmark harness: one experiment function per paper table/figure.
+
+The :mod:`repro.bench.harness` module owns the scale configuration (set via
+the ``REPRO_SCALE`` environment variable) and the result formatting/saving
+helpers; :mod:`repro.bench.experiments` implements each experiment. The
+``benchmarks/`` pytest files are thin wrappers that run one experiment each
+and print/save its table, so every number in EXPERIMENTS.md can be
+regenerated with a single ``pytest benchmarks/test_<exp>.py --benchmark-only``.
+"""
+
+from repro.bench.harness import BenchScale, get_scale, print_and_save
+
+__all__ = ["BenchScale", "get_scale", "print_and_save"]

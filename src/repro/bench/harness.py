@@ -1,0 +1,138 @@
+"""Scale configuration and reporting helpers for the benchmark suite.
+
+The paper's experiments ran on supercomputer nodes with multi-GB datasets;
+this reproduction scales them down so the whole suite runs on one CPU in
+minutes (DESIGN.md, substitutions). Two scales are provided:
+
+- ``REPRO_SCALE=small`` (default) — minutes for the full suite;
+- ``REPRO_SCALE=medium`` — closer to paper-like grids, tens of minutes.
+
+All experiment functions take a :class:`BenchScale` so the scaling is in
+one place and recorded in every saved result file.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+RESULTS_DIR = Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+
+
+@dataclass(frozen=True)
+class BenchScale:
+    """All knobs that trade fidelity for wall-clock time."""
+
+    name: str
+    shape3d: tuple[int, int, int]  # generic 3-D dataset shape
+    shape_nyx: tuple[int, int, int]
+    shape_cesm: tuple[int, int]
+    shape_hurricane: tuple[int, int, int]
+    n_ebs: int  # error-bound grid size (paper: 35)
+    n_targets: int  # requested-ratio sample size for accuracy evals
+    bo_iters: int
+    grid_iters: int  # randomized-grid-search configurations (paper: 10)
+    cv: int  # k-fold (paper: 5)
+    n_timesteps: int  # training timesteps for single-domain runs (paper: 6)
+    train_sizes: tuple[int, ...]  # design-matrix sizes for Fig. 5a
+    rel_eb_range: tuple[float, float] = (1e-3, 1e-1)
+
+    def rel_ebs(self, n: int | None = None) -> np.ndarray:
+        lo, hi = self.rel_eb_range
+        return np.geomspace(lo, hi, n or self.n_ebs)
+
+    def dataset_kwargs(self, dataset: str) -> dict:
+        """Shape override for one of the named datasets."""
+        if dataset == "cesm":
+            return {"shape": self.shape_cesm}
+        if dataset == "nyx":
+            return {"shape": self.shape_nyx}
+        if dataset == "hurricane":
+            return {"shape": self.shape_hurricane}
+        return {"shape": self.shape3d}
+
+
+_SCALES = {
+    # For unit tests of the experiment functions only: seconds, not fidelity.
+    "tiny": BenchScale(
+        name="tiny",
+        shape3d=(10, 12, 12),
+        shape_nyx=(12, 12, 12),
+        shape_cesm=(24, 48),
+        shape_hurricane=(8, 16, 16),
+        n_ebs=5,
+        n_targets=2,
+        bo_iters=3,
+        grid_iters=2,
+        cv=2,
+        n_timesteps=2,
+        train_sizes=(60, 120),
+    ),
+    "small": BenchScale(
+        name="small",
+        shape3d=(24, 32, 32),
+        shape_nyx=(32, 32, 32),
+        shape_cesm=(90, 180),
+        shape_hurricane=(12, 40, 40),
+        n_ebs=16,
+        n_targets=4,
+        bo_iters=5,
+        grid_iters=8,
+        cv=3,
+        n_timesteps=3,
+        train_sizes=(200, 500, 1200, 2500),
+    ),
+    "medium": BenchScale(
+        name="medium",
+        shape3d=(48, 64, 64),
+        shape_nyx=(64, 64, 64),
+        shape_cesm=(180, 360),
+        shape_hurricane=(24, 72, 72),
+        n_ebs=35,  # the paper's sample size
+        n_targets=8,
+        bo_iters=6,
+        grid_iters=10,
+        cv=5,
+        n_timesteps=6,
+        train_sizes=(500, 1500, 4000, 10000),
+    ),
+}
+
+
+def get_scale() -> BenchScale:
+    """Scale selected via ``REPRO_SCALE`` (default ``small``)."""
+    name = os.environ.get("REPRO_SCALE", "small").lower()
+    if name not in _SCALES:
+        raise KeyError(f"REPRO_SCALE must be one of {sorted(_SCALES)}, got {name!r}")
+    return _SCALES[name]
+
+
+def format_table(
+    title: str, headers: list[str], rows: list[list], note: str = ""
+) -> str:
+    """Fixed-width text table matching the paper's row/column layout."""
+    cells = [[str(h) for h in headers]] + [
+        [f"{c:.4g}" if isinstance(c, float) else str(c) for c in row] for row in rows
+    ]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = [title, "=" * len(title)]
+    for j, row in enumerate(cells):
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        if j == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    if note:
+        lines.append("")
+        lines.append(note)
+    return "\n".join(lines)
+
+
+def print_and_save(name: str, content: str) -> Path:
+    """Print an experiment's table and persist it under benchmarks/results."""
+    print("\n" + content + "\n")
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(content + "\n")
+    return path

@@ -1,0 +1,86 @@
+"""ASCII line plots for the figure benchmarks.
+
+The paper's figures are curves; the benchmark harnesses regenerate the
+numbers, and this renderer turns them into terminal plots inside the saved
+result files, so ``benchmarks/results/fig*.txt`` read as figures, not just
+tables. No plotting dependency needed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_plot(
+    series: dict[str, tuple[np.ndarray, np.ndarray]],
+    width: int = 64,
+    height: int = 16,
+    logx: bool = False,
+    logy: bool = False,
+    xlabel: str = "x",
+    ylabel: str = "y",
+    title: str = "",
+) -> str:
+    """Render labelled (x, y) series on one character grid.
+
+    Points are mapped onto a ``width x height`` canvas; each series gets a
+    marker from ``oxX*#@%&`` and a legend line. Log axes reject
+    non-positive values with a clear error rather than silently clipping.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    xs_all, ys_all = [], []
+    for label, (x, y) in series.items():
+        x = np.asarray(x, dtype=np.float64).ravel()
+        y = np.asarray(y, dtype=np.float64).ravel()
+        if x.size != y.size or x.size == 0:
+            raise ValueError(f"series {label!r} must have matching non-empty x/y")
+        if logx and (x <= 0).any():
+            raise ValueError("logx requires positive x values")
+        if logy and (y <= 0).any():
+            raise ValueError("logy requires positive y values")
+        xs_all.append(x)
+        ys_all.append(y)
+
+    def tx(v):
+        return np.log10(v) if logx else v
+
+    def ty(v):
+        return np.log10(v) if logy else v
+
+    x_lo = min(tx(x).min() for x in xs_all)
+    x_hi = max(tx(x).max() for x in xs_all)
+    y_lo = min(ty(y).min() for y in ys_all)
+    y_hi = max(ty(y).max() for y in ys_all)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (label, (x, y)) in enumerate(series.items()):
+        marker = _MARKERS[idx % len(_MARKERS)]
+        cx = np.clip(((tx(np.asarray(x, float)) - x_lo) / x_span * (width - 1)), 0, width - 1)
+        cy = np.clip(((ty(np.asarray(y, float)) - y_lo) / y_span * (height - 1)), 0, height - 1)
+        for px, py in zip(cx.round().astype(int), cy.round().astype(int)):
+            row = height - 1 - py
+            grid[row][px] = marker
+
+    top = f"{10**y_hi if logy else y_hi:.3g}"
+    bot = f"{10**y_lo if logy else y_lo:.3g}"
+    lines = []
+    if title:
+        lines.append(title)
+    for r, row in enumerate(grid):
+        prefix = top.rjust(9) if r == 0 else (bot.rjust(9) if r == height - 1 else " " * 9)
+        lines.append(f"{prefix} |{''.join(row)}|")
+    left = f"{10**x_lo if logx else x_lo:.3g}"
+    right = f"{10**x_hi if logx else x_hi:.3g}"
+    lines.append(" " * 9 + " " + "-" * (width + 2))
+    lines.append(" " * 10 + left + " " * max(width - len(left) - len(right), 1) + right)
+    lines.append(" " * 10 + f"x: {xlabel}{'  [log]' if logx else ''}   y: {ylabel}{'  [log]' if logy else ''}")
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {label}" for i, label in enumerate(series)
+    )
+    lines.append(" " * 10 + legend)
+    return "\n".join(lines)

@@ -1,0 +1,206 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the library's workflow:
+
+- ``datasets``  — list the synthetic datasets and their fields;
+- ``estimate``  — print a ratio-vs-error-bound curve (full compressor,
+  SECRE surrogate, or calibrated surrogate);
+- ``train``     — fit a framework (CAROL or FXRZ) and save it;
+- ``predict``   — predict the error bound for a target ratio with a saved
+  model;
+- ``compress``  — end-to-end: predict, compress, report achieved ratio;
+- ``bench``     — run one named paper experiment and print its table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.compressors.registry import available_compressors
+from repro.core.carol import CarolFramework
+from repro.core.collection import TrainingCollector
+from repro.core.fxrz import FxrzFramework
+from repro.data.datasets import DATASET_NAMES, load_dataset, load_field
+from repro.utils.serialization import load_framework, save_framework
+
+
+def _add_common_field_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("field", help="field path, e.g. miranda/viscosity")
+    p.add_argument("--shape", type=int, nargs="+", default=None,
+                   help="override the field's grid shape")
+    p.add_argument("--seed", type=int, default=None, help="dataset seed")
+
+
+def _load_field(args):
+    kwargs = {}
+    if args.shape:
+        kwargs["shape"] = tuple(args.shape)
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    return load_field(args.field, **kwargs)
+
+
+def cmd_datasets(_args) -> int:
+    for name in DATASET_NAMES:
+        fields = load_dataset(name, shape=(4, 8, 8) if name != "cesm" else (8, 16))
+        names = ", ".join(f.name for f in fields)
+        print(f"{name:<10} {len(fields):>2} fields: {names}")
+    return 0
+
+
+def cmd_estimate(args) -> int:
+    field = _load_field(args)
+    ebs = np.geomspace(args.eb_min, args.eb_max, args.n) * field.value_range
+    mode = args.mode
+    collector = TrainingCollector(
+        args.compressor, mode=mode, rel_error_bounds=np.geomspace(args.eb_min, args.eb_max, args.n),
+        calibration_points=args.calibration_points,
+    )
+    rec = collector.collect_field(field)
+    print(f"# {field.path} shape={field.data.shape} compressor={args.compressor} mode={mode}")
+    print(f"# collected in {rec.collect_seconds:.3f}s")
+    print(f"{'error_bound':>14} {'ratio':>10}")
+    for eb, ratio in zip(rec.error_bounds, rec.ratios):
+        print(f"{eb:>14.6g} {ratio:>10.3f}")
+    return 0
+
+
+def cmd_train(args) -> int:
+    if args.config:
+        from repro.core.config import FrameworkConfig
+
+        cfg = FrameworkConfig.load(args.config)
+        fw = cfg.build()
+        fields = cfg.load_training_fields()
+    else:
+        fields = []
+        for ds in args.datasets:
+            kwargs = {"shape": tuple(args.shape)} if args.shape else {}
+            fields.extend(load_dataset(ds, **kwargs))
+        cls = CarolFramework if args.framework == "carol" else FxrzFramework
+        fw = cls(
+            compressor=args.compressor,
+            rel_error_bounds=np.geomspace(args.eb_min, args.eb_max, args.n),
+            n_iter=args.iters,
+            cv=args.cv,
+        )
+    report = fw.fit(fields)
+    print(
+        f"{fw.name} fitted on {len(fields)} fields: "
+        f"collection {report.collection_seconds:.2f}s, "
+        f"training {report.training_seconds:.2f}s, {report.n_rows} rows"
+    )
+    path = save_framework(args.out, fw)
+    print(f"saved to {path}")
+    return 0
+
+
+def cmd_predict(args) -> int:
+    fw = load_framework(args.model)
+    field = _load_field(args)
+    pred = fw.predict_error_bound(field.data, args.ratio)
+    print(f"predicted error bound: {pred.error_bound:.6g}")
+    print(f"(features {np.round(pred.features, 5).tolist()}, "
+          f"extraction {pred.feature_seconds*1000:.2f} ms, "
+          f"inference {pred.inference_seconds*1000:.2f} ms)")
+    return 0
+
+
+def cmd_compress(args) -> int:
+    fw = load_framework(args.model)
+    field = _load_field(args)
+    result, pred = fw.compress_to_ratio(field.data, args.ratio)
+    err = 100.0 * abs(result.ratio - args.ratio) / args.ratio
+    print(f"requested ratio : {args.ratio:.2f}")
+    print(f"predicted eb    : {pred.error_bound:.6g}")
+    print(f"achieved ratio  : {result.ratio:.2f} ({err:.1f}% off)")
+    print(f"compressed size : {result.compressed_bytes} bytes "
+          f"(from {result.original_bytes})")
+    if args.out:
+        with open(args.out, "wb") as fh:
+            fh.write(result.payload)
+        print(f"payload written to {args.out}")
+    return 0
+
+
+def cmd_bench(args) -> int:
+    from repro.bench import experiments, experiments_model
+    from repro.bench.harness import get_scale
+
+    registry = {}
+    for mod in (experiments, experiments_model):
+        for name in dir(mod):
+            if name.startswith(("fig", "tab", "ablation")):
+                registry[name] = getattr(mod, name)
+    if args.experiment not in registry:
+        print(f"unknown experiment {args.experiment!r}; available:", file=sys.stderr)
+        for name in sorted(registry):
+            print(f"  {name}", file=sys.stderr)
+        return 2
+    print(registry[args.experiment](get_scale()))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="CAROL ratio-controlled compression (ICPP'24 reproduction)"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list synthetic datasets").set_defaults(func=cmd_datasets)
+
+    p = sub.add_parser("estimate", help="print a ratio-vs-error-bound curve")
+    _add_common_field_args(p)
+    p.add_argument("--compressor", choices=available_compressors(), default="sz3")
+    p.add_argument("--mode", choices=("full", "secre", "calibrated"), default="calibrated")
+    p.add_argument("--eb-min", type=float, default=1e-3)
+    p.add_argument("--eb-max", type=float, default=1e-1)
+    p.add_argument("-n", type=int, default=10, help="grid size")
+    p.add_argument("--calibration-points", type=int, default=4)
+    p.set_defaults(func=cmd_estimate)
+
+    p = sub.add_parser("train", help="fit a framework and save it")
+    p.add_argument("--config", default=None,
+                   help="JSON FrameworkConfig; overrides the flags below")
+    p.add_argument("--framework", choices=("carol", "fxrz"), default="carol")
+    p.add_argument("--compressor", choices=available_compressors(), default="sz3")
+    p.add_argument("--datasets", nargs="+", default=["miranda"])
+    p.add_argument("--shape", type=int, nargs="+", default=None)
+    p.add_argument("--eb-min", type=float, default=1e-3)
+    p.add_argument("--eb-max", type=float, default=1e-1)
+    p.add_argument("-n", type=int, default=10)
+    p.add_argument("--iters", type=int, default=6)
+    p.add_argument("--cv", type=int, default=3)
+    p.add_argument("--out", required=True, help="output .npz model path")
+    p.set_defaults(func=cmd_train)
+
+    p = sub.add_parser("predict", help="predict an error bound for a target ratio")
+    p.add_argument("--model", required=True)
+    p.add_argument("--ratio", type=float, required=True)
+    _add_common_field_args(p)
+    p.set_defaults(func=cmd_predict)
+
+    p = sub.add_parser("compress", help="compress a field to a target ratio")
+    p.add_argument("--model", required=True)
+    p.add_argument("--ratio", type=float, required=True)
+    p.add_argument("--out", default=None, help="write the payload here")
+    _add_common_field_args(p)
+    p.set_defaults(func=cmd_compress)
+
+    p = sub.add_parser("bench", help="run one paper experiment")
+    p.add_argument("experiment", help="e.g. fig2_surrogate_curves, tab5_calibration")
+    p.set_defaults(func=cmd_bench)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

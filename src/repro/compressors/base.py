@@ -1,0 +1,116 @@
+"""Common interface for error-bounded lossy compressors."""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.validation import as_float_array, check_error_bound, require_finite
+
+
+def quantization_step(error_bound: float) -> float:
+    """Quantization step for an absolute error bound.
+
+    Nominally ``2*eb`` (round-to-nearest then halves the step), shrunk by a
+    1e-9 relative margin so the worst-case half-step rounding error stays
+    *strictly* within the bound despite floating-point arithmetic. Encoder
+    and decoder must both use this helper so reconstructions agree.
+    """
+    return 2.0 * error_bound * (1.0 - 1e-9)
+
+
+@dataclass
+class CompressionResult:
+    """Outcome of one compression call.
+
+    ``payload`` is the actual encoded byte stream — ``compressed_bytes`` is
+    its length plus the small self-describing header, so ratios are honest
+    end-to-end numbers, not coefficient counts.
+    """
+
+    compressor: str
+    payload: bytes
+    metadata: dict = field(repr=False)
+    original_bytes: int = 0
+    error_bound: float = 0.0
+    elapsed: float = 0.0
+
+    _HEADER_BYTES = 32  # shape/dtype/eb bookkeeping, charged to every stream
+
+    @property
+    def compressed_bytes(self) -> int:
+        return len(self.payload) + self._HEADER_BYTES
+
+    @property
+    def ratio(self) -> float:
+        return self.original_bytes / self.compressed_bytes
+
+    def __repr__(self) -> str:  # keep payload out of reprs
+        return (
+            f"CompressionResult({self.compressor}, eb={self.error_bound:g}, "
+            f"{self.original_bytes}B -> {self.compressed_bytes}B, "
+            f"ratio={self.ratio:.2f})"
+        )
+
+
+class LossyCompressor(abc.ABC):
+    """Error-bounded lossy compressor.
+
+    Guarantee: ``|decompress(compress(x, eb)) - x| <= eb`` pointwise, and the
+    compression ratio is non-decreasing in ``eb`` (the monotonicity FXRZ and
+    CAROL both rely on).
+    """
+
+    name: str = "abstract"
+
+    def compress(self, data: np.ndarray, error_bound: float) -> CompressionResult:
+        """Compress ``data`` under absolute pointwise ``error_bound``."""
+        arr = as_float_array(data)
+        require_finite(arr)
+        eb = check_error_bound(error_bound)
+        start = time.perf_counter()
+        payload, metadata = self._compress(arr.astype(np.float64, copy=False), eb)
+        elapsed = time.perf_counter() - start
+        metadata = dict(metadata)
+        metadata.setdefault("shape", arr.shape)
+        metadata.setdefault("error_bound", eb)
+        metadata.setdefault("dtype", str(arr.dtype))
+        return CompressionResult(
+            compressor=self.name,
+            payload=payload,
+            metadata=metadata,
+            original_bytes=arr.nbytes,
+            error_bound=eb,
+            elapsed=elapsed,
+        )
+
+    def decompress(self, result: CompressionResult) -> np.ndarray:
+        """Reconstruct the array from a :class:`CompressionResult`."""
+        if result.compressor != self.name:
+            raise ValueError(
+                f"{self.name} cannot decode a {result.compressor!r} stream"
+            )
+        out = self._decompress(result.payload, result.metadata)
+        return out.astype(result.metadata.get("dtype", "float64"), copy=False)
+
+    def compression_ratio(self, data: np.ndarray, error_bound: float) -> float:
+        """Convenience: ratio only (the quantity f(e) in the paper)."""
+        return self.compress(data, error_bound).ratio
+
+    def roundtrip(self, data: np.ndarray, error_bound: float) -> tuple[np.ndarray, CompressionResult]:
+        res = self.compress(data, error_bound)
+        return self.decompress(res), res
+
+    @abc.abstractmethod
+    def _compress(self, data: np.ndarray, error_bound: float) -> tuple[bytes, dict]:
+        """Return ``(payload_bytes, metadata)``; data is float64, finite."""
+
+    @abc.abstractmethod
+    def _decompress(self, payload: bytes, metadata: dict) -> np.ndarray:
+        """Invert :meth:`_compress`."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

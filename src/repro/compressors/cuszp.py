@@ -1,0 +1,127 @@
+"""cuSZp-style compressor: pre-quantization + block delta + fixed-length packing.
+
+cuSZp (Huang et al., SC'23) is the paper's reference for ultra-fast
+delta-based GPU compression (Sections 1-2). Its pipeline, reproduced here:
+
+1. *pre-quantization* — every value maps to an integer code on the
+   ``2*error_bound`` grid (the whole error budget is spent in this one
+   step, so the bound holds by construction);
+2. *block-wise delta* — codes are cut into blocks of 32 and
+   delta-encoded against the previous code within the block (first code
+   kept absolute), shrinking magnitudes on smooth data;
+3. *fixed-length encoding* — each block stores its deltas in
+   sign-magnitude with the block's minimal uniform bit width; all-zero
+   blocks collapse to a single flag bit.
+
+Not part of the paper's evaluated four — included as the extensibility
+exercise the paper highlights: a new compressor only needs execution data
+(and optionally the generic sampled-full surrogate) to become
+ratio-controllable. See ``examples/extend_new_compressor.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compressors.base import LossyCompressor, quantization_step
+from repro.encoding.bitstream import BitReader, BitWriter
+
+BLOCK = 32
+_W_BITS = 6
+
+
+class CuSZpCompressor(LossyCompressor):
+    """Pre-quantization delta compressor (cuSZp architecture)."""
+
+    name = "cuszp"
+
+    def __init__(self, block_size: int = BLOCK) -> None:
+        if block_size < 2:
+            raise ValueError("block_size must be >= 2")
+        self.block_size = int(block_size)
+
+    def _compress(self, data: np.ndarray, error_bound: float) -> tuple[bytes, dict]:
+        bs = self.block_size
+        step = quantization_step(error_bound)
+        q = np.rint(data.ravel() / step)
+        if (np.abs(q) >= 2**52).any():
+            raise ValueError("error bound too small relative to data magnitude")
+        q = q.astype(np.int64)
+        n = q.size
+        nblocks = -(-n // bs)
+        padded = np.zeros(nblocks * bs, dtype=np.int64)
+        padded[:n] = q
+        padded[n:] = q[-1] if n else 0
+        blocks = padded.reshape(nblocks, bs)
+
+        # Delta within each block; column 0 keeps the absolute code.
+        deltas = blocks.copy()
+        deltas[:, 1:] = blocks[:, 1:] - blocks[:, :-1]
+        first = deltas[:, 0]
+        rest = deltas[:, 1:]
+
+        mags = np.abs(rest).astype(np.uint64)
+        zero_block = (mags == 0).all(axis=1)
+        widths = np.zeros(nblocks, dtype=np.int64)
+        nz = ~zero_block
+        if nz.any():
+            maxmag = mags[nz].max(axis=1)
+            w = np.zeros(maxmag.size, dtype=np.int64)
+            pos = maxmag > 0
+            w[pos] = np.floor(np.log2(maxmag[pos].astype(np.float64))).astype(np.int64) + 1
+            too_small = (np.uint64(1) << w.astype(np.uint64)) <= maxmag
+            w[too_small] += 1
+            widths[nz] = w
+
+        writer = BitWriter()
+        writer.write_bit_array(zero_block)
+        # First code of every block: 64-bit two's complement (absolute).
+        writer.write_uint_array(first.view(np.uint64), 64)
+        if nz.any():
+            writer.write_uint_array(widths[nz].astype(np.uint64), _W_BITS)
+            # Sign-magnitude payload, grouped by width for bulk packing.
+            signs = (rest < 0).astype(np.uint64)
+            for width in np.unique(widths[nz]):
+                sel = widths == width
+                sel &= nz
+                if not sel.any():
+                    continue
+                writer.write_bit_array(signs[sel].astype(bool).ravel())
+                if width > 0:
+                    writer.write_uint_array(mags[sel].ravel(), int(width))
+        return writer.getvalue(), {"n": n, "nblocks": nblocks, "block_size": bs}
+
+    def _decompress(self, payload: bytes, metadata: dict) -> np.ndarray:
+        n = int(metadata["n"])
+        nblocks = int(metadata["nblocks"])
+        bs = int(metadata.get("block_size", self.block_size))
+        eb = float(metadata["error_bound"])
+        step = quantization_step(eb)
+        reader = BitReader(payload)
+
+        zero_block = reader.read_bit_array(nblocks)
+        first = reader.read_uint_array(nblocks, 64).view(np.int64)
+        rest = np.zeros((nblocks, bs - 1), dtype=np.int64)
+        nz = ~zero_block
+        n_nz = int(nz.sum())
+        if n_nz:
+            widths = reader.read_uint_array(n_nz, _W_BITS).astype(np.int64)
+            wfull = np.zeros(nblocks, dtype=np.int64)
+            wfull[nz] = widths
+            for width in np.unique(widths):
+                sel = (wfull == width) & nz
+                count = int(sel.sum())
+                if count == 0:
+                    continue
+                signs = reader.read_bit_array(count * (bs - 1)).reshape(count, bs - 1)
+                if width > 0:
+                    mags = reader.read_uint_array(count * (bs - 1), int(width))
+                    mags = mags.reshape(count, bs - 1).astype(np.int64)
+                else:
+                    mags = np.zeros((count, bs - 1), dtype=np.int64)
+                rest[sel] = np.where(signs, -mags, mags)
+
+        codes = np.concatenate((first[:, None], rest), axis=1)
+        codes = np.cumsum(codes, axis=1)  # invert the in-block delta
+        shape = tuple(metadata["shape"])
+        return (codes.reshape(-1)[:n] * step).reshape(shape)

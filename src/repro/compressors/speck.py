@@ -1,0 +1,172 @@
+"""SPECK-style set-partitioning embedded coder (SPERR's encoding stage).
+
+Codes integer coefficient magnitudes bit-plane by bit-plane using
+hierarchical significance testing on a max pyramid:
+
+- the coefficient array is zero-padded to power-of-two extents;
+- a pyramid of block maxima (2x per axis per level) answers "is any
+  coefficient in this set >= 2^p" in O(1);
+- per plane, the list of insignificant sets (LIS) is tested coarse-to-fine;
+  significant sets split into their 2^d children, significant single
+  coefficients emit a sign bit and join the list of significant points
+  (LSP); previously significant points emit one refinement bit per plane.
+
+Both encoder and decoder drive the identical traversal, so the stream needs
+no structural metadata beyond the top plane. All per-level set operations
+are vectorized over index arrays; Python-level iteration is only over
+(plane, pyramid-level) pairs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.encoding.bitstream import BitReader, BitWriter
+
+
+def padded_pow2_shape(shape: tuple[int, ...]) -> tuple[int, ...]:
+    return tuple(1 << max(int(np.ceil(np.log2(s))), 0) if s > 1 else 1 for s in shape)
+
+
+def _pyramid_shapes(pshape: tuple[int, ...]) -> list[tuple[int, ...]]:
+    """Shapes from level 0 (full grid) up to the single-root level."""
+    shapes = [pshape]
+    cur = pshape
+    while any(s > 1 for s in cur):
+        cur = tuple(max(s // 2, 1) for s in cur)
+        shapes.append(cur)
+    return shapes
+
+
+def _build_pyramid(mag: np.ndarray) -> list[np.ndarray]:
+    """Max pyramid; level k entry = max |coef| over its 2^d descendant block."""
+    levels = [mag]
+    cur = mag
+    while any(s > 1 for s in cur.shape):
+        slices = []
+        for axis in range(cur.ndim):
+            n = cur.shape[axis]
+            if n > 1:
+                moved = np.moveaxis(cur, axis, 0)
+                cur = np.moveaxis(np.maximum(moved[0::2], moved[1::2]), 0, axis)
+        levels.append(cur)
+    return levels
+
+
+def _children(indices: np.ndarray, shape_child: tuple[int, ...], shape_parent: tuple[int, ...]) -> np.ndarray:
+    """Flat child indices (level k-1) of flat parent indices (level k)."""
+    coords = np.unravel_index(indices, shape_parent)
+    child_coords = []
+    for axis, c in enumerate(coords):
+        if shape_child[axis] > shape_parent[axis]:
+            child_coords.append(np.stack([2 * c, 2 * c + 1], axis=-1))
+        else:
+            child_coords.append(c[:, None])
+    # Cartesian product across axes via broadcasting.
+    d = len(shape_child)
+    grids = np.meshgrid(*[np.arange(cc.shape[1]) for cc in child_coords], indexing="ij")
+    out = []
+    for axis in range(d):
+        sel = child_coords[axis][:, grids[axis].ravel()]
+        out.append(sel)
+    flat = np.ravel_multi_index(tuple(out), shape_child)
+    return flat.ravel()
+
+
+class SpeckCoder:
+    """Stateless encoder/decoder pair for SPECK bit-plane coding."""
+
+    def encode(self, mag: np.ndarray, negative: np.ndarray, writer: BitWriter) -> int:
+        """Encode integer magnitudes + signs; returns the top plane used."""
+        pshape = padded_pow2_shape(mag.shape)
+        padded = np.zeros(pshape, dtype=np.int64)
+        padded[tuple(slice(0, s) for s in mag.shape)] = mag
+        neg = np.zeros(pshape, dtype=bool)
+        neg[tuple(slice(0, s) for s in mag.shape)] = negative
+
+        pyramid = _build_pyramid(padded)
+        shapes = [lvl.shape for lvl in pyramid]
+        K = len(pyramid) - 1
+        p_top = int(pyramid[K].max()).bit_length() - 1
+        if p_top < 0:
+            return -1
+
+        flat_mag = padded.ravel()
+        flat_neg = neg.ravel()
+        flat_pyr = [lvl.ravel() for lvl in pyramid]
+
+        lis: list[np.ndarray] = [np.zeros(0, dtype=np.int64) for _ in range(K + 1)]
+        lis[K] = np.zeros(1, dtype=np.int64)
+        lsp = np.zeros(0, dtype=np.int64)
+        lsp_new = np.zeros(0, dtype=np.int64)
+
+        for p in range(p_top, -1, -1):
+            threshold = np.int64(1) << p
+            lsp = np.concatenate((lsp, lsp_new))
+            lsp_new = np.zeros(0, dtype=np.int64)
+            for k in range(K, -1, -1):
+                idxs = lis[k]
+                if idxs.size == 0:
+                    continue
+                sig = flat_pyr[k][idxs] >= threshold
+                writer.write_bit_array(sig)
+                lis[k] = idxs[~sig]
+                hot = idxs[sig]
+                if hot.size == 0:
+                    continue
+                if k == 0:
+                    writer.write_bit_array(flat_neg[hot])
+                    lsp_new = np.concatenate((lsp_new, hot))
+                else:
+                    kids = _children(hot, shapes[k - 1], shapes[k])
+                    lis[k - 1] = np.concatenate((lis[k - 1], kids))
+            if lsp.size:
+                writer.write_bit_array((flat_mag[lsp] >> p) & 1)
+        return p_top
+
+    def decode(
+        self, reader: BitReader, shape: tuple[int, ...], p_top: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Decode magnitudes and signs for the unpadded ``shape``."""
+        pshape = padded_pow2_shape(shape)
+        shapes = _pyramid_shapes(pshape)
+        K = len(shapes) - 1
+        n = int(np.prod(pshape))
+        mag = np.zeros(n, dtype=np.int64)
+        neg = np.zeros(n, dtype=bool)
+        if p_top < 0:
+            out = mag.reshape(pshape)[tuple(slice(0, s) for s in shape)]
+            outn = neg.reshape(pshape)[tuple(slice(0, s) for s in shape)]
+            return out, outn
+
+        lis: list[np.ndarray] = [np.zeros(0, dtype=np.int64) for _ in range(K + 1)]
+        lis[K] = np.zeros(1, dtype=np.int64)
+        lsp = np.zeros(0, dtype=np.int64)
+        lsp_new = np.zeros(0, dtype=np.int64)
+
+        for p in range(p_top, -1, -1):
+            threshold = np.int64(1) << p
+            lsp = np.concatenate((lsp, lsp_new))
+            lsp_new = np.zeros(0, dtype=np.int64)
+            for k in range(K, -1, -1):
+                idxs = lis[k]
+                if idxs.size == 0:
+                    continue
+                sig = reader.read_bit_array(idxs.size)
+                lis[k] = idxs[~sig]
+                hot = idxs[sig]
+                if hot.size == 0:
+                    continue
+                if k == 0:
+                    neg[hot] = reader.read_bit_array(hot.size)
+                    mag[hot] = threshold
+                    lsp_new = np.concatenate((lsp_new, hot))
+                else:
+                    kids = _children(hot, shapes[k - 1], shapes[k])
+                    lis[k - 1] = np.concatenate((lis[k - 1], kids))
+            if lsp.size:
+                bits = reader.read_bit_array(lsp.size)
+                mag[lsp[bits]] += threshold
+        out = mag.reshape(pshape)[tuple(slice(0, s) for s in shape)]
+        outn = neg.reshape(pshape)[tuple(slice(0, s) for s in shape)]
+        return out, outn

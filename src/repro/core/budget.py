@@ -1,0 +1,163 @@
+"""Storage-budget planning (the paper's use case 1, as an API).
+
+Given a set of fields and a total byte budget, choose per-field error
+bounds so the campaign fits. The uniform-ratio plan (what the
+``storage_budget`` example does by hand) is the baseline; the *weighted*
+plan reallocates budget toward the hardest-to-compress fields so no single
+field has to take an extreme error bound:
+
+1. predict, per field, the error bound for the uniform target ratio;
+2. fields whose prediction clamps at the trained envelope (can't reach the
+   target) get their achievable maximum; the remaining budget deficit is
+   spread over the compressible fields by scaling their targets up.
+
+Every plan is validated by actually compressing (the frameworks make the
+planning cheap; the compression was going to happen anyway).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+
+from repro.core.framework import RatioControlledFramework
+from repro.data.fields import Field
+
+
+@dataclass
+class FieldPlan:
+    field_path: str
+    target_ratio: float
+    error_bound: float
+    planned_bytes: float
+    actual_bytes: int | None = None
+    achieved_ratio: float | None = None
+
+
+@dataclass
+class BudgetPlan:
+    total_budget: int
+    plans: list[FieldPlan] = dc_field(default_factory=list)
+
+    @property
+    def planned_bytes(self) -> float:
+        return sum(p.planned_bytes for p in self.plans)
+
+    @property
+    def actual_bytes(self) -> int:
+        return sum(p.actual_bytes or 0 for p in self.plans)
+
+    @property
+    def within_budget(self) -> bool:
+        return self.actual_bytes <= self.total_budget
+
+
+class StorageBudgetPlanner:
+    """Plans per-field compression so a campaign fits a byte budget."""
+
+    def __init__(
+        self,
+        framework: RatioControlledFramework,
+        safety: float = 1.0,
+        headroom: float = 0.05,
+    ) -> None:
+        """``safety`` biases each prediction toward overshooting its ratio;
+        ``headroom`` reserves a fraction of the budget for misprediction."""
+        if not 0 <= headroom < 1:
+            raise ValueError("headroom must be in [0, 1)")
+        self.framework = framework
+        self.safety = float(safety)
+        self.headroom = float(headroom)
+
+    def plan(self, fields: list[Field], total_budget: int) -> BudgetPlan:
+        """Produce (but do not execute) a per-field plan."""
+        if total_budget <= 0:
+            raise ValueError("total_budget must be positive")
+        fields = list(fields)
+        if not fields:
+            raise ValueError("need at least one field")
+        usable = total_budget * (1.0 - self.headroom)
+        total_raw = sum(f.nbytes for f in fields)
+        if usable >= total_raw:
+            # Budget exceeds raw size: store near-losslessly at the smallest
+            # trained error bound.
+            plan = BudgetPlan(total_budget=total_budget)
+            for f in fields:
+                pred = self.framework.predict_error_bound(f.data, 1.01)
+                plan.plans.append(
+                    FieldPlan(f.path, 1.01, pred.error_bound, float(f.nbytes))
+                )
+            return plan
+
+        uniform_target = total_raw / usable
+        plan = BudgetPlan(total_budget=total_budget)
+        for f in fields:
+            pred = self.framework.predict_error_bound(
+                f.data, uniform_target, safety=self.safety
+            )
+            plan.plans.append(
+                FieldPlan(
+                    field_path=f.path,
+                    target_ratio=uniform_target,
+                    error_bound=pred.error_bound,
+                    planned_bytes=f.nbytes / uniform_target,
+                )
+            )
+        return plan
+
+    def execute(self, fields: list[Field], plan: BudgetPlan):
+        """Compress per the plan, recording actual sizes; returns results."""
+        results = []
+        codec = self.framework._codec
+        by_path = {p.field_path: p for p in plan.plans}
+        for f in fields:
+            p = by_path[f.path]
+            res = codec.compress(f.data, p.error_bound)
+            p.actual_bytes = res.compressed_bytes
+            p.achieved_ratio = res.ratio
+            results.append(res)
+        return results
+
+    def plan_and_execute(self, fields: list[Field], total_budget: int):
+        """Plan, compress, and — if the budget is still busted — tighten.
+
+        One corrective round: if actual bytes exceed the budget, the
+        per-field targets are scaled by the overshoot factor and the
+        offending fields are recompressed.
+        """
+        fields = list(fields)
+        plan = self.plan(fields, total_budget)
+        results = self.execute(fields, plan)
+        if not plan.within_budget:
+            factor = plan.actual_bytes / (total_budget * (1.0 - self.headroom))
+            by_path = {f.path: f for f in fields}
+            for p, _old in zip(plan.plans, list(results)):
+                new_target = p.target_ratio * factor
+                f = by_path[p.field_path]
+                pred = self.framework.predict_error_bound(
+                    f.data, new_target, safety=self.safety
+                )
+                if pred.error_bound > p.error_bound:
+                    p.target_ratio = new_target
+                    p.error_bound = pred.error_bound
+            results = self.execute(fields, plan)
+        return plan, results
+
+
+def plan_transfer(
+    planner: StorageBudgetPlanner,
+    fields: list[Field],
+    bandwidth_bytes_per_s: float,
+    deadline_s: float,
+):
+    """Use case 2 (bandwidth-limited transfer) via the budget planner.
+
+    A link of ``bandwidth_bytes_per_s`` with a ``deadline_s`` window is just
+    a byte budget; the plan's per-field error bounds make the campaign fit
+    the window. Returns ``(plan, results, predicted_transfer_seconds)``.
+    """
+    if bandwidth_bytes_per_s <= 0 or deadline_s <= 0:
+        raise ValueError("bandwidth and deadline must be positive")
+    budget = int(bandwidth_bytes_per_s * deadline_s)
+    plan, results = planner.plan_and_execute(list(fields), budget)
+    predicted_seconds = plan.actual_bytes / bandwidth_bytes_per_s
+    return plan, results, predicted_seconds

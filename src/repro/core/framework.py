@@ -1,0 +1,201 @@
+"""Shared machinery of the FXRZ and CAROL frameworks.
+
+Both frameworks are the same three-stage pipeline (Fig. 1) with different
+stage implementations:
+
+=============  ======================  ===============================
+stage          FXRZ                    CAROL
+=============  ======================  ===============================
+collection     full compressor         SECRE surrogate + calibration
+training       randomized grid search  Bayesian opt. (checkpointable)
+inference      serial sampled feats    block-parallel feats
+=============  ======================  ===============================
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field as dc_field
+
+import numpy as np
+
+from repro.compressors.base import CompressionResult
+from repro.compressors.registry import get_compressor
+from repro.core.collection import TrainingCollector, TrainingData
+from repro.core.metrics import estimation_error
+from repro.core.prediction import ErrorBoundModel
+from repro.core.training import TrainingInfo
+from repro.ml.space import SearchSpace
+from repro.utils.validation import as_float_array
+
+
+@dataclass
+class SetupReport:
+    """Timing breakdown of one fit() call (feeds Fig. 8)."""
+
+    framework: str
+    compressor: str
+    collection_seconds: float
+    training_seconds: float
+    n_rows: int
+    training_info: TrainingInfo | None = None
+
+    @property
+    def total_seconds(self) -> float:
+        return self.collection_seconds + self.training_seconds
+
+
+@dataclass
+class Prediction:
+    """One inference call's outcome (feeds Fig. 9)."""
+
+    error_bound: float
+    target_ratio: float
+    features: np.ndarray
+    feature_seconds: float
+    inference_seconds: float
+
+
+@dataclass
+class EvaluationReport:
+    """Requested-vs-achieved ratios on one test input (Tables 3, Fig. 7)."""
+
+    targets: np.ndarray
+    achieved: np.ndarray
+    predicted_ebs: np.ndarray
+    alpha: float
+    predictions: list[Prediction] = dc_field(default_factory=list)
+
+
+class RatioControlledFramework:
+    """Base class; subclasses set the three stage implementations."""
+
+    name = "abstract"
+    collection_mode = "full"
+    training_method = "grid"
+
+    def __init__(
+        self,
+        compressor: str = "sz3",
+        rel_error_bounds: np.ndarray | None = None,
+        space: SearchSpace | None = None,
+        n_iter: int = 8,
+        cv: int = 3,
+        seed: int = 0,
+        calibration_points: int = 4,
+        model_kind: str = "forest",
+    ) -> None:
+        self.compressor_name = compressor
+        self._codec = get_compressor(compressor)
+        self.rel_error_bounds = rel_error_bounds
+        self.space = space
+        self.n_iter = int(n_iter)
+        self.cv = int(cv)
+        self.seed = int(seed)
+        self.calibration_points = int(calibration_points)
+        self.model_kind = model_kind
+        self.model = ErrorBoundModel()
+        self.training_data: TrainingData | None = None
+        self.setup_report: SetupReport | None = None
+
+    # -- stage hooks (overridden per framework) --------------------------------
+
+    def _extract_features(self, data: np.ndarray) -> tuple[np.ndarray, float]:
+        raise NotImplementedError
+
+    def _make_collector(self) -> TrainingCollector:
+        return TrainingCollector(
+            self.compressor_name,
+            mode=self.collection_mode,
+            rel_error_bounds=self.rel_error_bounds,
+            calibration_points=self.calibration_points,
+        )
+
+    # -- setup ------------------------------------------------------------------
+
+    def fit(self, fields, checkpoint: list | None = None) -> SetupReport:
+        """Collect training data and train the error-bound model."""
+        t0 = time.perf_counter()
+        collector = self._make_collector()
+        self.training_data = collector.collect(list(fields))
+        collect_s = time.perf_counter() - t0
+
+        t1 = time.perf_counter()
+        self.model.fit(
+            self.training_data,
+            method=self.training_method,
+            space=self.space,
+            n_iter=self.n_iter,
+            cv=self.cv,
+            seed=self.seed,
+            checkpoint=checkpoint,
+            model_kind=self.model_kind,
+        )
+        train_s = time.perf_counter() - t1
+        self.setup_report = SetupReport(
+            framework=self.name,
+            compressor=self.compressor_name,
+            collection_seconds=collect_s,
+            training_seconds=train_s,
+            n_rows=self.training_data.n_rows,
+            training_info=self.model.info,
+        )
+        return self.setup_report
+
+    # -- inference -----------------------------------------------------------------
+
+    def predict_error_bound(
+        self, data: np.ndarray, target_ratio: float, safety: float = 0.0
+    ) -> Prediction:
+        """Predict the error bound that reaches ``target_ratio`` on ``data``.
+
+        ``safety`` > 0 biases toward overshooting the ratio (quota-safe);
+        see :meth:`ErrorBoundModel.predict_error_bound`.
+        """
+        arr = as_float_array(data)
+        feats, feat_s = self._extract_features(arr)
+        t0 = time.perf_counter()
+        eb = self.model.predict_error_bound(feats, float(target_ratio), safety=safety)
+        infer_s = time.perf_counter() - t0
+        return Prediction(
+            error_bound=eb,
+            target_ratio=float(target_ratio),
+            features=feats,
+            feature_seconds=feat_s,
+            inference_seconds=infer_s,
+        )
+
+    def compress_to_ratio(
+        self, data: np.ndarray, target_ratio: float, safety: float = 0.0
+    ) -> tuple[CompressionResult, Prediction]:
+        """End-to-end: predict the error bound, then actually compress."""
+        pred = self.predict_error_bound(data, target_ratio, safety=safety)
+        result = self._codec.compress(data, pred.error_bound)
+        return result, pred
+
+    # -- evaluation ------------------------------------------------------------------
+
+    def evaluate_targets(self, data: np.ndarray, targets) -> EvaluationReport:
+        """Requested-vs-achieved ratios; alpha per the paper's Eq. (1)."""
+        targets = np.asarray(targets, dtype=np.float64).ravel()
+        arr = as_float_array(data)
+        feats, feat_s = self._extract_features(arr)
+        achieved = np.empty(targets.size)
+        ebs = np.empty(targets.size)
+        preds: list[Prediction] = []
+        for i, t in enumerate(targets):
+            t0 = time.perf_counter()
+            eb = self.model.predict_error_bound(feats, float(t))
+            infer_s = time.perf_counter() - t0
+            ebs[i] = eb
+            achieved[i] = self._codec.compression_ratio(arr, eb)
+            preds.append(
+                Prediction(eb, float(t), feats, feat_s if i == 0 else 0.0, infer_s)
+            )
+        return EvaluationReport(
+            targets=targets,
+            achieved=achieved,
+            predicted_ebs=ebs,
+            alpha=estimation_error(targets, achieved),
+            predictions=preds,
+        )

@@ -1,0 +1,123 @@
+"""FRaZ-style fixed-ratio control by iterative error-bound search.
+
+FRaZ (Underwood et al., IPDPS'20 — the paper's reference [24]) achieves a
+target ratio with *no* model at all: it repeatedly runs the real compressor,
+searching the error bound until the measured ratio lands within a tolerance
+of the target. Section 3.2 of the CAROL paper frames this as the bar a
+learned framework must beat: "the framework should run no slower than its
+underlying compressor" — FRaZ costs several full compressions per request,
+which is untenable exactly for the slow high-ratio codecs where ratio
+control matters most.
+
+The search exploits the monotonicity of f(e): geometric bracketing followed
+by bisection on log(error bound).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.compressors.base import CompressionResult
+from repro.compressors.registry import get_compressor
+from repro.utils.validation import as_float_array
+
+
+@dataclass
+class FrazResult:
+    """Outcome of one fixed-ratio search."""
+
+    result: CompressionResult
+    error_bound: float
+    target_ratio: float
+    n_compressions: int
+    elapsed: float
+    converged: bool
+    history: list[tuple[float, float]] = field(default_factory=list)  # (eb, ratio)
+
+    @property
+    def achieved_ratio(self) -> float:
+        return self.result.ratio
+
+
+class FrazSearch:
+    """Model-free fixed-ratio compression via bounded bisection."""
+
+    def __init__(
+        self,
+        compressor: str,
+        tolerance: float = 0.05,
+        max_iterations: int = 12,
+        rel_eb_bracket: tuple[float, float] = (1e-6, 0.5),
+    ) -> None:
+        if tolerance <= 0:
+            raise ValueError("tolerance must be > 0")
+        if max_iterations < 1:
+            raise ValueError("max_iterations must be >= 1")
+        lo, hi = rel_eb_bracket
+        if not 0 < lo < hi:
+            raise ValueError("rel_eb_bracket must satisfy 0 < lo < hi")
+        self.compressor_name = compressor
+        self._codec = get_compressor(compressor)
+        self.tolerance = float(tolerance)
+        self.max_iterations = int(max_iterations)
+        self.rel_eb_bracket = (float(lo), float(hi))
+
+    def compress_to_ratio(self, data: np.ndarray, target_ratio: float) -> FrazResult:
+        """Search the error bound whose ratio matches ``target_ratio``."""
+        if target_ratio <= 0:
+            raise ValueError("target_ratio must be positive")
+        arr = as_float_array(data)
+        vrange = float(arr.max() - arr.min()) or 1.0
+        lo = np.log(self.rel_eb_bracket[0] * vrange)
+        hi = np.log(self.rel_eb_bracket[1] * vrange)
+
+        start = time.perf_counter()
+        history: list[tuple[float, float]] = []
+        best: CompressionResult | None = None
+        best_eb = float(np.exp(0.5 * (lo + hi)))
+        best_gap = np.inf
+        converged = False
+
+        def run(log_eb: float) -> float:
+            nonlocal best, best_eb, best_gap, converged
+            eb = float(np.exp(log_eb))
+            res = self._codec.compress(arr, eb)
+            history.append((eb, res.ratio))
+            gap = abs(res.ratio - target_ratio) / target_ratio
+            if gap < best_gap:
+                best, best_eb, best_gap = res, eb, gap
+            if gap <= self.tolerance:
+                converged = True
+            return res.ratio
+
+        # Check the bracket ends first: targets outside the achievable
+        # range converge to the nearest end.
+        r_lo = run(lo)
+        if not converged and target_ratio <= r_lo:
+            pass  # lowest eb already at/above target; best is the lo end
+        else:
+            r_hi = run(hi) if not converged else None
+            if not converged and r_hi is not None and target_ratio >= r_hi:
+                pass  # target beyond the largest achievable ratio
+            else:
+                while not converged and len(history) < self.max_iterations:
+                    mid = 0.5 * (lo + hi)
+                    r_mid = run(mid)
+                    if r_mid < target_ratio:
+                        lo = mid
+                    else:
+                        hi = mid
+
+        assert best is not None
+        return FrazResult(
+            result=best,
+            error_bound=best_eb,
+            target_ratio=float(target_ratio),
+            n_compressions=len(history),
+            elapsed=time.perf_counter() - start,
+            converged=converged,
+            history=history,
+        )

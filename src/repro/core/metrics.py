@@ -1,0 +1,31 @@
+"""Estimation-error metrics (paper Eqs. (1)-(2)).
+
+The percentage estimation error of an estimate ``f_est`` against ground
+truth ``f`` over a sample of error bounds:
+
+    alpha_i = 100 * |f_est(e_i) - f(e_i)| / f(e_i)        (2)
+    alpha   = mean_i alpha_i                              (1)
+
+The same metric scores end-to-end frameworks, with ``f_est`` the ratio the
+framework actually achieves for a requested ratio ``f``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def signed_estimation_errors(true_ratios, estimated_ratios) -> np.ndarray:
+    """Per-point signed percentage errors (positive = overestimate)."""
+    t = np.asarray(true_ratios, dtype=np.float64).ravel()
+    e = np.asarray(estimated_ratios, dtype=np.float64).ravel()
+    if t.shape != e.shape:
+        raise ValueError("true and estimated ratio arrays must align")
+    if (t <= 0).any():
+        raise ValueError("true ratios must be positive")
+    return 100.0 * (e - t) / t
+
+
+def estimation_error(true_ratios, estimated_ratios) -> float:
+    """The paper's alpha: mean absolute percentage estimation error."""
+    return float(np.abs(signed_estimation_errors(true_ratios, estimated_ratios)).mean())

@@ -1,0 +1,106 @@
+"""Error-bound prediction from a trained model, plus the model-free baseline.
+
+:class:`ErrorBoundModel` wraps the random forest: inputs are the five FXRZ
+features plus log(target ratio), output is log(error bound) — the inference
+path of both frameworks (Fig. 1).
+
+:func:`invert_curve` is the model-free alternative (used by the ablation
+bench): given a sampled compression function f(e), invert it by monotone
+interpolation. It needs a measured/estimated curve for the *specific* input,
+whereas the learned model generalizes across datasets from features alone.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.collection import TrainingData
+from repro.core.training import TrainingInfo, train_model
+from repro.ml.space import SearchSpace
+
+
+def invert_curve(error_bounds, ratios, target_ratio: float) -> float:
+    """Error bound achieving ``target_ratio`` per a sampled curve f(e).
+
+    The curve is first made monotone (running maximum — compressors are
+    monotone up to measurement noise), then inverted by log-log linear
+    interpolation; targets outside the sampled range clamp to the ends.
+    """
+    ebs = np.asarray(error_bounds, dtype=np.float64).ravel()
+    f = np.asarray(ratios, dtype=np.float64).ravel()
+    if ebs.size != f.size or ebs.size < 2:
+        raise ValueError("need aligned curves with at least 2 points")
+    if target_ratio <= 0:
+        raise ValueError("target_ratio must be positive")
+    order = np.argsort(ebs)
+    ebs, f = ebs[order], np.maximum.accumulate(np.maximum(f[order], 1e-9))
+    logf = np.log(f)
+    logt = np.log(target_ratio)
+    # np.interp needs strictly increasing x; collapse flat steps.
+    keep = np.concatenate(([True], np.diff(logf) > 0))
+    return float(np.exp(np.interp(logt, logf[keep], np.log(ebs)[keep])))
+
+
+class ErrorBoundModel:
+    """Learned mapping (features, target ratio) -> error bound.
+
+    The regressor defaults to FXRZ's random forest; the future-work
+    alternatives ("gbt", "knn") plug in via ``model_kind``.
+    """
+
+    def __init__(self) -> None:
+        self.forest = None  # the fitted regressor (historic name)
+        self.info: TrainingInfo | None = None
+        self.feature_names: list[str] = []
+        self._eb_range: tuple[float, float] = (1e-300, 1e300)
+
+    def fit(
+        self,
+        training: TrainingData,
+        method: str = "bayesopt",
+        space: SearchSpace | None = None,
+        n_iter: int = 10,
+        cv: int = 3,
+        seed: int = 0,
+        checkpoint: list | None = None,
+        model_kind: str = "forest",
+    ) -> "ErrorBoundModel":
+        X, y = training.design_matrix()
+        self.forest, self.info = train_model(
+            X, y, method=method, model_kind=model_kind, space=space,
+            n_iter=n_iter, cv=cv, seed=seed, checkpoint=checkpoint,
+        )
+        self.feature_names = training.feature_names
+        all_ebs = np.concatenate([r.error_bounds for r in training.records])
+        # Clamp predictions into (an expanded copy of) the trained range —
+        # the forest cannot extrapolate beyond its leaves anyway.
+        self._eb_range = (float(all_ebs.min()) * 0.1, float(all_ebs.max()) * 10.0)
+        return self
+
+    def predict_error_bound(
+        self, features: np.ndarray, target_ratio: float, safety: float = 0.0
+    ) -> float:
+        """Predict the error bound for ``target_ratio``.
+
+        ``safety`` shifts the prediction by that many across-tree standard
+        deviations in log-eb space. Positive values pick a *larger* error
+        bound, i.e. bias toward overshooting the requested ratio — what a
+        storage-quota consumer wants (a too-small file is fine, a too-large
+        one breaks the budget). Negative values bias toward preserving
+        quality instead. Only the forest model family carries a spread;
+        other model kinds ignore ``safety``.
+        """
+        if self.forest is None:
+            raise RuntimeError("model is not fitted")
+        if target_ratio <= 0:
+            raise ValueError("target_ratio must be positive")
+        x = np.concatenate((np.asarray(features, dtype=np.float64).ravel(),
+                            [np.log(target_ratio)]))
+        log_eb = float(self.forest.predict(x[None, :])[0])
+        if safety and hasattr(self.forest, "predict_std"):
+            log_eb += float(safety) * float(self.forest.predict_std(x[None, :])[0])
+        return float(np.clip(np.exp(log_eb), *self._eb_range))
+
+    @property
+    def checkpoint(self) -> list | None:
+        return self.info.checkpoint if self.info else None

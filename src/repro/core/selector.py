@@ -1,0 +1,97 @@
+"""Compressor selection: which codec should serve a given request?
+
+A downstream layer over the frameworks. Scientific pipelines rarely commit
+to one compressor: the right codec depends on the target ratio (SZx/cuSZp
+cannot reach thousands-x; SPERR/SZ3 can), on throughput needs, and on the
+quality delivered at that ratio. :class:`CompressorSelector` fits one CAROL
+instance per candidate codec on shared training fields, and per request
+picks the codec predicted to meet the target — preferring the fastest one
+that can, falling back to the highest-ratio one otherwise.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field as dc_field
+
+import numpy as np
+
+from repro.compressors.base import CompressionResult
+from repro.core.carol import CarolFramework
+from repro.core.framework import Prediction
+
+#: speed rank, fastest first (the paper's throughput ordering)
+_SPEED_ORDER = ("szx", "cuszp", "zfp", "sperr", "sz3")
+
+
+@dataclass
+class SelectionOutcome:
+    compressor: str
+    result: CompressionResult
+    prediction: Prediction
+    candidates: dict[str, float] = dc_field(default_factory=dict)  # codec -> predicted achievable?
+    elapsed: float = 0.0
+
+
+class CompressorSelector:
+    """Per-request codec choice driven by the fitted CAROL models."""
+
+    def __init__(
+        self,
+        compressors: tuple[str, ...] = ("szx", "zfp", "sz3", "sperr"),
+        tolerance: float = 0.2,
+        **framework_kwargs,
+    ) -> None:
+        if not compressors:
+            raise ValueError("need at least one candidate compressor")
+        self.tolerance = float(tolerance)
+        self.frameworks: dict[str, CarolFramework] = {
+            name: CarolFramework(compressor=name, **framework_kwargs)
+            for name in compressors
+        }
+        self._fitted = False
+
+    def fit(self, fields) -> dict[str, object]:
+        """Fit every candidate's framework on the same training fields."""
+        fields = list(fields)
+        reports = {}
+        for name, fw in self.frameworks.items():
+            reports[name] = fw.fit(fields)
+        self._fitted = True
+        return reports
+
+    def _achievable(self, fw: CarolFramework, target: float) -> bool:
+        """Does the codec's trained ratio envelope cover the target?"""
+        assert fw.training_data is not None
+        top = max(float(rec.ratios.max()) for rec in fw.training_data.records)
+        return target <= top * (1.0 + self.tolerance)
+
+    def compress_to_ratio(self, data: np.ndarray, target_ratio: float) -> SelectionOutcome:
+        """Pick a codec for this request and run it end to end.
+
+        Preference: the fastest codec whose trained envelope covers the
+        target; if none can reach it, the codec with the largest envelope.
+        """
+        if not self._fitted:
+            raise RuntimeError("selector is not fitted")
+        start = time.perf_counter()
+        envelopes = {}
+        for name, fw in self.frameworks.items():
+            envelopes[name] = max(
+                float(rec.ratios.max()) for rec in fw.training_data.records
+            )
+        chosen = None
+        for name in _SPEED_ORDER:
+            if name in self.frameworks and self._achievable(self.frameworks[name], target_ratio):
+                chosen = name
+                break
+        if chosen is None:  # nobody reaches it: take the highest envelope
+            chosen = max(envelopes, key=envelopes.get)
+        result, pred = self.frameworks[chosen].compress_to_ratio(data, target_ratio)
+        return SelectionOutcome(
+            compressor=chosen,
+            result=result,
+            prediction=pred,
+            candidates=envelopes,
+            elapsed=time.perf_counter() - start,
+        )

@@ -1,0 +1,77 @@
+"""Raw binary field I/O (the SDRBench interchange format).
+
+SDRBench distributes fields as headerless little-endian binary arrays
+(typically float32), with the grid dimensions given in the filename or an
+accompanying note. These helpers load such files into :class:`Field`
+objects — so when the real Miranda/NYX/CESM data is on disk, the whole
+pipeline runs on it unchanged — and write fields back out for
+interoperability with the reference compressors' CLIs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.fields import Field
+
+
+def load_raw(
+    path: str | Path,
+    shape: tuple[int, ...],
+    dtype: str | np.dtype = np.float32,
+    dataset: str | None = None,
+    name: str | None = None,
+) -> Field:
+    """Load a headerless binary field (SDRBench convention).
+
+    ``shape`` is the logical grid (C order, slowest axis first, matching
+    SDRBench's ``<field>_<d1>x<d2>x<d3>.f32`` naming read right-to-left in
+    the filename but passed here in array order).
+    """
+    path = Path(path)
+    dtype = np.dtype(dtype)
+    expected = int(np.prod(shape)) * dtype.itemsize
+    actual = path.stat().st_size
+    if actual != expected:
+        raise ValueError(
+            f"{path.name}: file has {actual} bytes but shape {shape} with "
+            f"dtype {dtype} needs {expected}"
+        )
+    data = np.fromfile(path, dtype=dtype).reshape(shape)
+    if not np.isfinite(data).all():
+        raise ValueError(f"{path.name}: contains non-finite values")
+    return Field(
+        dataset=dataset or path.parent.name or "raw",
+        name=name or path.stem,
+        data=data,
+    )
+
+
+def save_raw(field: Field, path: str | Path) -> Path:
+    """Write a field as headerless binary (inverse of :func:`load_raw`)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    field.data.tofile(path)
+    return path
+
+
+def load_raw_dataset(
+    directory: str | Path,
+    shape: tuple[int, ...],
+    pattern: str = "*.f32",
+    dtype: str | np.dtype = np.float32,
+    dataset: str | None = None,
+) -> list[Field]:
+    """Load every matching raw file in a directory as one dataset.
+
+    All fields must share ``shape`` (the SDRBench layout); files whose size
+    does not match raise, naming the offender.
+    """
+    directory = Path(directory)
+    paths = sorted(directory.glob(pattern))
+    if not paths:
+        raise FileNotFoundError(f"no files matching {pattern!r} in {directory}")
+    ds = dataset or directory.name
+    return [load_raw(p, shape, dtype=dtype, dataset=ds) for p in paths]

@@ -1,0 +1,28 @@
+"""Bit-level encoding substrate shared by all compressors.
+
+Modules:
+
+- :mod:`repro.encoding.bitstream` — MSB-first bit writer/reader with bulk
+  (vectorized) paths used by the embedded coders.
+- :mod:`repro.encoding.huffman` — canonical Huffman coding over integer
+  symbol alphabets (SZ3's entropy stage).
+- :mod:`repro.encoding.lz77` — greedy hash-chain LZ77 byte compressor, the
+  stand-in for SZ3/SPERR's zstd lossless backend.
+- :mod:`repro.encoding.rle` — zero run-length coding helpers.
+"""
+
+from repro.encoding.bitstream import BitReader, BitWriter
+from repro.encoding.huffman import HuffmanCodec, huffman_encoded_bits
+from repro.encoding.lz77 import lz77_compress, lz77_decompress
+from repro.encoding.rle import zero_rle_decode, zero_rle_encode
+
+__all__ = [
+    "BitReader",
+    "BitWriter",
+    "HuffmanCodec",
+    "huffman_encoded_bits",
+    "lz77_compress",
+    "lz77_decompress",
+    "zero_rle_encode",
+    "zero_rle_decode",
+]

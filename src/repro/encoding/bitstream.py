@@ -1,0 +1,165 @@
+"""MSB-first bitstream writer/reader.
+
+The embedded bit-plane coders (ZFP, SPERR) emit millions of individual bits;
+a per-bit Python loop would dominate compression time. The writer therefore
+buffers *numpy bool chunks* and only packs to bytes once, and both writer and
+reader expose bulk array operations (``write_bit_array``,
+``write_uint_array``, ``read_bit_array``) so hot paths stay vectorized.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_BOOL = np.bool_
+
+
+class BitWriter:
+    """Accumulates bits MSB-first and packs them into bytes on demand."""
+
+    def __init__(self) -> None:
+        self._chunks: list[np.ndarray] = []
+        self._nbits = 0
+
+    @property
+    def bit_length(self) -> int:
+        """Number of bits written so far."""
+        return self._nbits
+
+    @property
+    def byte_length(self) -> int:
+        """Size in bytes of the packed stream (final byte zero-padded)."""
+        return (self._nbits + 7) // 8
+
+    def write_bit(self, bit: int) -> None:
+        self._chunks.append(np.array([bool(bit)], dtype=_BOOL))
+        self._nbits += 1
+
+    def write_bits(self, value: int, nbits: int) -> None:
+        """Write the ``nbits`` least-significant bits of ``value``, MSB first."""
+        if nbits < 0:
+            raise ValueError("nbits must be >= 0")
+        if nbits == 0:
+            return
+        value = int(value)
+        if value < 0:
+            raise ValueError("write_bits takes non-negative values; encode sign separately")
+        shifts = np.arange(nbits - 1, -1, -1, dtype=np.uint64)
+        bits = (np.uint64(value) >> shifts) & np.uint64(1)
+        self._chunks.append(bits.astype(_BOOL))
+        self._nbits += nbits
+
+    def write_bit_array(self, bits: np.ndarray) -> None:
+        """Append a 1-D array interpreted as bits (nonzero = 1)."""
+        arr = np.asarray(bits).astype(_BOOL, copy=False).ravel()
+        if arr.size:
+            self._chunks.append(arr)
+            self._nbits += arr.size
+
+    def write_uint_array(self, values: np.ndarray, nbits: int) -> None:
+        """Write each value with a fixed width of ``nbits`` bits, MSB first."""
+        values = np.asarray(values, dtype=np.uint64).ravel()
+        if nbits == 0 or values.size == 0:
+            return
+        shifts = np.arange(nbits - 1, -1, -1, dtype=np.uint64)
+        bits = (values[:, None] >> shifts[None, :]) & np.uint64(1)
+        self._chunks.append(bits.astype(_BOOL).ravel())
+        self._nbits += values.size * nbits
+
+    def write_unary(self, value: int) -> None:
+        """``value`` zero bits followed by a terminating one bit."""
+        value = int(value)
+        if value < 0:
+            raise ValueError("unary codes are defined for non-negative integers")
+        bits = np.zeros(value + 1, dtype=_BOOL)
+        bits[-1] = True
+        self._chunks.append(bits)
+        self._nbits += value + 1
+
+    def write_elias_gamma(self, value: int) -> None:
+        """Elias-gamma code for ``value >= 1`` (used for unbounded lengths)."""
+        value = int(value)
+        if value < 1:
+            raise ValueError("Elias gamma is defined for integers >= 1")
+        nbits = value.bit_length()
+        self.write_unary(nbits - 1)
+        if nbits > 1:
+            self.write_bits(value - (1 << (nbits - 1)), nbits - 1)
+
+    def extend(self, other: "BitWriter") -> None:
+        """Append all bits from another writer (no byte alignment)."""
+        self._chunks.extend(other._chunks)
+        self._nbits += other._nbits
+
+    def bits(self) -> np.ndarray:
+        """Return the raw bit array (bool), without byte padding."""
+        if not self._chunks:
+            return np.zeros(0, dtype=_BOOL)
+        if len(self._chunks) > 1:
+            self._chunks = [np.concatenate(self._chunks)]
+        return self._chunks[0]
+
+    def getvalue(self) -> bytes:
+        """Pack the accumulated bits to bytes (MSB-first, zero padded)."""
+        return np.packbits(self.bits().view(np.uint8)).tobytes()
+
+
+class BitReader:
+    """Reads bits MSB-first from bytes produced by :class:`BitWriter`."""
+
+    def __init__(self, data: bytes | np.ndarray) -> None:
+        if isinstance(data, (bytes, bytearray, memoryview)):
+            raw = np.frombuffer(bytes(data), dtype=np.uint8)
+            self._bits = np.unpackbits(raw).astype(_BOOL)
+        else:
+            self._bits = np.asarray(data).astype(_BOOL).ravel()
+        self._pos = 0
+
+    @property
+    def position(self) -> int:
+        return self._pos
+
+    @property
+    def remaining(self) -> int:
+        return self._bits.size - self._pos
+
+    def _take(self, n: int) -> np.ndarray:
+        if n > self.remaining:
+            raise EOFError(f"bitstream exhausted: requested {n}, remaining {self.remaining}")
+        out = self._bits[self._pos : self._pos + n]
+        self._pos += n
+        return out
+
+    def read_bit(self) -> int:
+        return int(self._take(1)[0])
+
+    def read_bits(self, nbits: int) -> int:
+        if nbits == 0:
+            return 0
+        bits = self._take(nbits).astype(np.uint64)
+        shifts = np.arange(nbits - 1, -1, -1, dtype=np.uint64)
+        return int((bits << shifts).sum())
+
+    def read_bit_array(self, count: int) -> np.ndarray:
+        return self._take(count).copy()
+
+    def read_uint_array(self, count: int, nbits: int) -> np.ndarray:
+        if count == 0 or nbits == 0:
+            return np.zeros(count, dtype=np.uint64)
+        bits = self._take(count * nbits).astype(np.uint64).reshape(count, nbits)
+        shifts = np.arange(nbits - 1, -1, -1, dtype=np.uint64)
+        return (bits << shifts).sum(axis=1)
+
+    def read_unary(self) -> int:
+        rest = self._bits[self._pos :]
+        idx = np.argmax(rest)
+        if rest.size == 0 or not rest[idx]:
+            raise EOFError("unary code not terminated before end of stream")
+        self._pos += int(idx) + 1
+        return int(idx)
+
+    def read_elias_gamma(self) -> int:
+        nbits = self.read_unary() + 1
+        if nbits == 1:
+            return 1
+        return (1 << (nbits - 1)) + self.read_bits(nbits - 1)

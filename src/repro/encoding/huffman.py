@@ -1,0 +1,307 @@
+"""Canonical Huffman coding over integer symbol alphabets.
+
+This is SZ3's entropy stage. Encoding is vectorized: each symbol is mapped to
+a (code, length) pair through table lookups and the variable-length codes are
+materialized as one flat bit array in a single numpy pass. Decoding uses the
+canonical-code property (codes of equal length are consecutive integers) to
+decode with per-length table lookups rather than bit-by-bit tree walking.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.encoding.bitstream import BitReader, BitWriter
+
+_MAX_CODE_LEN = 48
+_TABLE_BITS = 16  # fast-decode lookup window
+
+
+def huffman_code_lengths(frequencies: np.ndarray) -> np.ndarray:
+    """Return optimal prefix-code lengths for each symbol.
+
+    ``frequencies[i]`` is the count of symbol ``i``; zero-frequency symbols
+    get length 0 (absent from the codebook). A single-symbol alphabet gets
+    length 1 (a real stream still needs one bit per occurrence).
+    """
+    freq = np.asarray(frequencies, dtype=np.int64)
+    if freq.ndim != 1:
+        raise ValueError("frequencies must be 1-D")
+    if (freq < 0).any():
+        raise ValueError("frequencies must be non-negative")
+    present = np.flatnonzero(freq > 0)
+    lengths = np.zeros(freq.size, dtype=np.int64)
+    if present.size == 0:
+        return lengths
+    if present.size == 1:
+        lengths[present[0]] = 1
+        return lengths
+
+    # Standard heap-based Huffman tree construction over the present symbols.
+    # Entries are (freq, tiebreak, node_id); parents get fresh node ids.
+    heap = [(int(freq[s]), int(i), int(i)) for i, s in enumerate(present)]
+    heapq.heapify(heap)
+    parent = np.full(2 * present.size - 1, -1, dtype=np.int64)
+    next_id = present.size
+    while len(heap) > 1:
+        f1, _, n1 = heapq.heappop(heap)
+        f2, _, n2 = heapq.heappop(heap)
+        parent[n1] = next_id
+        parent[n2] = next_id
+        heapq.heappush(heap, (f1 + f2, next_id, next_id))
+        next_id += 1
+
+    # Depth of each leaf = code length.
+    depth = np.zeros(next_id, dtype=np.int64)
+    for node in range(next_id - 2, -1, -1):
+        depth[node] = depth[parent[node]] + 1
+    lengths[present] = depth[: present.size]
+    if lengths.max() > _MAX_CODE_LEN:  # pragma: no cover - needs astronomic skew
+        raise OverflowError("Huffman code length exceeds supported maximum")
+    return lengths
+
+
+def canonical_codes(lengths: np.ndarray) -> np.ndarray:
+    """Assign canonical code values from code lengths.
+
+    Symbols are ordered by (length, symbol); codes of the same length are
+    consecutive. Returns an array of code values (as uint64); symbols with
+    length 0 get code 0 and must not be encoded.
+    """
+    lengths = np.asarray(lengths, dtype=np.int64)
+    codes = np.zeros(lengths.size, dtype=np.uint64)
+    order = np.lexsort((np.arange(lengths.size), lengths))
+    order = order[lengths[order] > 0]
+    code = 0
+    prev_len = 0
+    for sym in order:
+        length = int(lengths[sym])
+        code <<= length - prev_len
+        codes[sym] = code
+        code += 1
+        prev_len = length
+    return codes
+
+
+def huffman_encoded_bits(frequencies: np.ndarray) -> int:
+    """Exact encoded payload size in bits for a stream with these counts.
+
+    Used by size estimators that want the Huffman cost without materializing
+    the bitstream.
+    """
+    freq = np.asarray(frequencies, dtype=np.int64)
+    lengths = huffman_code_lengths(freq)
+    return int((freq * lengths).sum())
+
+
+@dataclass
+class HuffmanCodec:
+    """Canonical Huffman codec for symbols in ``[0, alphabet_size)``."""
+
+    lengths: np.ndarray
+    codes: np.ndarray
+    # lazily built fast-decode tables (see _decode_table)
+    _sym_table: np.ndarray | None = None
+    _len_table: np.ndarray | None = None
+    _slow: dict | None = None
+
+    @classmethod
+    def fit(cls, symbols: np.ndarray, alphabet_size: int | None = None) -> "HuffmanCodec":
+        symbols = np.asarray(symbols, dtype=np.int64).ravel()
+        if symbols.size and symbols.min() < 0:
+            raise ValueError("symbols must be non-negative")
+        size = int(alphabet_size if alphabet_size is not None else (symbols.max() + 1 if symbols.size else 1))
+        freq = np.bincount(symbols, minlength=size)
+        lengths = huffman_code_lengths(freq)
+        return cls(lengths=lengths, codes=canonical_codes(lengths))
+
+    @classmethod
+    def from_lengths(cls, lengths: np.ndarray) -> "HuffmanCodec":
+        lengths = np.asarray(lengths, dtype=np.int64)
+        return cls(lengths=lengths, codes=canonical_codes(lengths))
+
+    @property
+    def alphabet_size(self) -> int:
+        return int(self.lengths.size)
+
+    def encoded_bits(self, symbols: np.ndarray) -> int:
+        symbols = np.asarray(symbols, dtype=np.int64).ravel()
+        return int(self.lengths[symbols].sum())
+
+    def encode(self, symbols: np.ndarray, writer: BitWriter) -> None:
+        """Append the code for each symbol to ``writer`` (vectorized)."""
+        symbols = np.asarray(symbols, dtype=np.int64).ravel()
+        if symbols.size == 0:
+            return
+        if symbols.min() < 0 or symbols.max() >= self.lengths.size:
+            raise ValueError("symbol outside codebook alphabet")
+        lens = self.lengths[symbols]
+        if (lens == 0).any():
+            bad = symbols[lens == 0][0]
+            raise ValueError(f"symbol {bad} not in codebook")
+        vals = self.codes[symbols]
+        max_len = int(lens.max())
+        # Bit matrix of shape (n, max_len) holding each code left-padded,
+        # then select only the valid (length) prefix of each row.
+        shifts = np.arange(max_len - 1, -1, -1, dtype=np.uint64)
+        aligned = vals << (max_len - lens).astype(np.uint64)
+        bits = ((aligned[:, None] >> shifts[None, :]) & np.uint64(1)).astype(bool)
+        mask = np.arange(max_len)[None, :] < lens[:, None]
+        writer.write_bit_array(bits[mask])
+
+    def decode(self, reader: BitReader, count: int) -> np.ndarray:
+        """Decode ``count`` symbols.
+
+        Bulk streams use a table-driven fast path: a 16-bit window value at
+        every position is precomputed vectorized and one probe decodes a
+        whole symbol; codes longer than the window (necessarily rare) take
+        a per-symbol fallback inside the loop. Tiny streams use the
+        canonical per-length walk directly.
+        """
+        lengths = self.lengths
+        present = np.flatnonzero(lengths > 0)
+        if present.size == 0:
+            if count:
+                raise ValueError("cannot decode with an empty codebook")
+            return np.zeros(0, dtype=np.int64)
+        max_len = int(lengths[present].max())
+        if count > 64:
+            # Hybrid fast path: codes longer than the window (rare by
+            # construction — their stream probability is < 2^-_TABLE_BITS)
+            # fall back to a per-symbol walk inside the chase loop.
+            return self._decode_table(reader, count, min(max_len, _TABLE_BITS))
+        return self._decode_walk(reader, count)
+
+    def _decode_table(self, reader: BitReader, count: int, max_len: int) -> np.ndarray:
+        """Prefix-table decode.
+
+        Vectorized precomputation: the ``max_len``-bit window value at
+        *every* bit position is one sliding-window matvec, and two table
+        gathers turn those into per-position (symbol, advance) arrays. The
+        remaining data-dependent chase ``pos += advance[pos]`` is a
+        scalar-only Python loop — no numpy calls inside — so decode costs
+        ~a hundred ns per symbol instead of per bit.
+        """
+        sym_table, len_table = self._tables(max_len)
+        bits = reader._bits[reader._pos :]
+        nbits = bits.size
+        padded = np.concatenate(
+            (bits.astype(np.int64), np.zeros(max_len, dtype=np.int64))
+        )
+        # Window value at every bit position, as max_len shifted adds —
+        # avoids materializing an (nbits, max_len) matrix for the matvec.
+        vals = np.zeros(nbits + 1, dtype=np.int64)
+        for j in range(max_len):
+            vals += padded[j : j + nbits + 1] << (max_len - 1 - j)
+        sym_at = sym_table[vals].tolist()
+        adv_at = len_table[vals].tolist()
+        slow = self._slow_entries()  # (length -> {code: symbol}) for long codes
+        bit_list = bits.tolist() if slow else None
+
+        out = [0] * count
+        pos = 0
+        try:
+            for i in range(count):
+                step = adv_at[pos]
+                if step == 0:
+                    # long-code fallback: extend the window bit by bit
+                    if not slow:
+                        raise ValueError("invalid Huffman stream")
+                    code = vals[pos]
+                    length = max_len
+                    while True:
+                        length += 1
+                        if pos + length > nbits:
+                            raise EOFError(
+                                "bitstream exhausted during Huffman decode"
+                            )
+                        code = (int(code) << 1) | bit_list[pos + length - 1]
+                        hit = slow.get(length)
+                        if hit is not None and code in hit:
+                            out[i] = hit[code]
+                            pos += length
+                            break
+                        if length > _MAX_CODE_LEN:
+                            raise ValueError("invalid Huffman stream")
+                else:
+                    out[i] = sym_at[pos]
+                    pos += step
+        except IndexError:
+            raise EOFError("bitstream exhausted during Huffman decode") from None
+        if pos > nbits:
+            raise EOFError("bitstream exhausted during Huffman decode")
+        reader._pos += pos
+        return np.array(out, dtype=np.int64)
+
+    def _slow_entries(self) -> dict[int, dict[int, int]]:
+        """Codes longer than the lookup window, keyed by length then code."""
+        if self._slow is None:
+            slow: dict[int, dict[int, int]] = {}
+            for sym in np.flatnonzero(self.lengths > _TABLE_BITS):
+                L = int(self.lengths[sym])
+                slow.setdefault(L, {})[int(self.codes[sym])] = int(sym)
+            self._slow = slow
+        return self._slow
+
+    def _tables(self, max_len: int) -> tuple[np.ndarray, np.ndarray]:
+        if self._sym_table is None:
+            size = 1 << max_len
+            sym_table = np.zeros(size, dtype=np.int64)
+            len_table = np.zeros(size, dtype=np.int16)
+            for sym in np.flatnonzero(self.lengths > 0):
+                L = int(self.lengths[sym])
+                if L > max_len:
+                    continue  # long code: sentinel 0 routes to the slow path
+                base = int(self.codes[sym]) << (max_len - L)
+                span = 1 << (max_len - L)
+                sym_table[base : base + span] = sym
+                len_table[base : base + span] = L
+            self._sym_table, self._len_table = sym_table, len_table
+        return self._sym_table, self._len_table
+
+    def _decode_walk(self, reader: BitReader, count: int) -> np.ndarray:
+        """Canonical per-length walk (handles arbitrarily long codes)."""
+        lengths = self.lengths
+        present = np.flatnonzero(lengths > 0)
+        # first_code[L] = smallest code of length L; first_sym_index[L] = rank
+        # (within the canonical order) of that code.
+        order = np.lexsort((present, lengths[present]))
+        sorted_syms = present[order]
+        sorted_lens = lengths[sorted_syms]
+        sorted_codes = self.codes[sorted_syms].astype(np.int64)
+        max_len = int(sorted_lens.max())
+        first_code = np.full(max_len + 2, np.iinfo(np.int64).max, dtype=np.int64)
+        first_rank = np.zeros(max_len + 2, dtype=np.int64)
+        for L in range(1, max_len + 1):
+            idx = np.searchsorted(sorted_lens, L, side="left")
+            if idx < sorted_lens.size and sorted_lens[idx] == L:
+                first_code[L] = sorted_codes[idx]
+                first_rank[L] = idx
+        # Count of codes per length to know when a prefix is decodable.
+        counts = np.bincount(sorted_lens, minlength=max_len + 1)
+
+        out = np.empty(count, dtype=np.int64)
+        for i in range(count):
+            code = 0
+            for L in range(1, max_len + 1):
+                code = (code << 1) | reader.read_bit()
+                if counts[L] and code - first_code[L] < counts[L] and code >= first_code[L]:
+                    out[i] = sorted_syms[first_rank[L] + (code - first_code[L])]
+                    break
+            else:
+                raise ValueError("invalid Huffman stream")
+        return out
+
+    def serialize(self, writer: BitWriter) -> None:
+        """Write the codebook (alphabet size + per-symbol lengths)."""
+        writer.write_elias_gamma(self.alphabet_size + 1)
+        writer.write_uint_array(self.lengths.astype(np.uint64), 6)
+
+    @classmethod
+    def deserialize(cls, reader: BitReader) -> "HuffmanCodec":
+        size = reader.read_elias_gamma() - 1
+        lengths = reader.read_uint_array(size, 6).astype(np.int64)
+        return cls.from_lengths(lengths)

@@ -1,0 +1,150 @@
+"""Greedy hash-chain LZ77 byte compressor.
+
+Stand-in for the zstd lossless backend used by SZ3 and SPERR (see DESIGN.md).
+The format is deliberately simple:
+
+- a stream of tokens, each ``(literal_len, match_len, distance)``;
+- ``literal_len`` raw bytes follow each token header;
+- ``match_len == 0`` marks a literal-only token (end of stream flush);
+- varint (LEB128) integers for all three header fields.
+
+Matching uses a dict keyed on 4-byte prefixes, remembering the most recent
+position — a single-entry hash chain, the same trade-off as fast zstd levels.
+The match *extension* is vectorized with numpy so long matches (the common
+case on quantization-code streams) cost O(match_len / simd) not O(match_len)
+Python iterations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_MIN_MATCH = 4
+_WINDOW = 1 << 16
+
+
+def _write_varint(out: bytearray, value: int) -> None:
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def _read_varint(data: bytes, pos: int) -> tuple[int, int]:
+    value = 0
+    shift = 0
+    while True:
+        byte = data[pos]
+        pos += 1
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return value, pos
+        shift += 7
+
+
+def _match_length(data: np.ndarray, a: int, b: int, limit: int) -> int:
+    """Length of the common prefix of data[a:] and data[b:], capped at limit."""
+    if limit <= 0:
+        return 0
+    diff = data[a : a + limit] != data[b : b + limit]
+    idx = np.argmax(diff)
+    if diff[idx]:
+        return int(idx)
+    return int(diff.size)
+
+
+def lz77_compress(data: bytes) -> bytes:
+    """Compress ``data``; always invertible via :func:`lz77_decompress`."""
+    raw = np.frombuffer(bytes(data), dtype=np.uint8)
+    n = raw.size
+    out = bytearray()
+    _write_varint(out, n)
+    if n == 0:
+        return bytes(out)
+
+    # 4-byte rolling keys, computed once.
+    if n >= _MIN_MATCH:
+        keys = (
+            raw[: n - 3].astype(np.uint32)
+            | (raw[1 : n - 2].astype(np.uint32) << 8)
+            | (raw[2 : n - 1].astype(np.uint32) << 16)
+            | (raw[3:n].astype(np.uint32) << 24)
+        )
+    else:
+        keys = np.zeros(0, dtype=np.uint32)
+
+    table: dict[int, int] = {}
+    pos = 0
+    literal_start = 0
+    data_bytes = bytes(data)
+    while pos < n:
+        match_len = 0
+        match_dist = 0
+        if pos + _MIN_MATCH <= n:
+            key = int(keys[pos])
+            cand = table.get(key)
+            table[key] = pos
+            if cand is not None and pos - cand <= _WINDOW:
+                length = _match_length(raw, cand, pos, n - pos)
+                if length >= _MIN_MATCH:
+                    match_len = length
+                    match_dist = pos - cand
+        if match_len:
+            _write_varint(out, pos - literal_start)
+            _write_varint(out, match_len)
+            _write_varint(out, match_dist)
+            out.extend(data_bytes[literal_start:pos])
+            # Seed the table sparsely inside the matched span so later
+            # occurrences can still find it without per-byte updates.
+            end = min(pos + match_len, n - _MIN_MATCH + 1)
+            for p in range(pos + 1, end, 8):
+                table[int(keys[p])] = p
+            pos += match_len
+            literal_start = pos
+        else:
+            pos += 1
+    if literal_start < n or n == 0:
+        _write_varint(out, n - literal_start)
+        _write_varint(out, 0)
+        _write_varint(out, 0)
+        out.extend(data_bytes[literal_start:])
+    return bytes(out)
+
+
+def lz77_decompress(blob: bytes) -> bytes:
+    """Invert :func:`lz77_compress`."""
+    try:
+        return _decompress(blob)
+    except IndexError as exc:
+        raise ValueError("corrupt LZ77 stream: truncated") from exc
+
+
+def _decompress(blob: bytes) -> bytes:
+    total, pos = _read_varint(blob, 0)
+    out = bytearray()
+    while len(out) < total:
+        lit_len, pos = _read_varint(blob, pos)
+        match_len, pos = _read_varint(blob, pos)
+        dist, pos = _read_varint(blob, pos)
+        if lit_len:
+            out.extend(blob[pos : pos + lit_len])
+            pos += lit_len
+        if match_len:
+            if dist <= 0 or dist > len(out):
+                raise ValueError("corrupt LZ77 stream: bad distance")
+            start = len(out) - dist
+            # Overlapping copies must proceed byte-wise semantically; chunked
+            # copy of at most ``dist`` bytes at a time preserves that.
+            remaining = match_len
+            while remaining > 0:
+                chunk = min(dist, remaining)
+                out.extend(out[start : start + chunk])
+                start += chunk
+                remaining -= chunk
+    if len(out) != total:
+        raise ValueError("corrupt LZ77 stream: length mismatch")
+    return bytes(out)

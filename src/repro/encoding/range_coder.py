@@ -1,0 +1,141 @@
+"""Static range (arithmetic) coder over integer symbol alphabets.
+
+An alternative entropy backend to canonical Huffman: a range coder reaches
+the Shannon entropy to within ~0.01 bits/symbol, whereas Huffman loses up
+to 1 bit/symbol on highly skewed alphabets — precisely the regime of SZ3's
+quantization codes (one dominant "exactly predicted" symbol). Real SZ uses
+Huffman+zstd; SZ variants and SPERR-adjacent codecs use arithmetic/ANS
+stages, so `SZ3Compressor(entropy="range")` lets the repo measure that
+design choice (``benchmarks/test_ablation_entropy.py``).
+
+Classic 32-bit Schindler-style carry-less range coder with a static
+frequency model (the model is serialized alongside, like a Huffman
+codebook). Encoding/decoding are per-symbol Python loops — fine for the
+ablation and tests; Huffman remains the default backend.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_TOP = 1 << 24
+_BOT = 1 << 16
+_MASK = (1 << 32) - 1
+_MAX_TOTAL = _BOT - 1
+
+
+def _quantized_freqs(frequencies: np.ndarray) -> np.ndarray:
+    """Scale counts to a total <= _MAX_TOTAL, keeping every symbol >= 1."""
+    freq = np.asarray(frequencies, dtype=np.int64)
+    if (freq < 0).any():
+        raise ValueError("frequencies must be non-negative")
+    present = freq > 0
+    if not present.any():
+        raise ValueError("need at least one present symbol")
+    total = int(freq.sum())
+    if total > _MAX_TOTAL:
+        scaled = np.maximum((freq * _MAX_TOTAL) // total, present.astype(np.int64))
+        freq = scaled
+    return freq
+
+
+class RangeEncoder:
+    """Static-model range encoder."""
+
+    def __init__(self, frequencies: np.ndarray) -> None:
+        self.freq = _quantized_freqs(frequencies)
+        self.cum = np.concatenate(([0], np.cumsum(self.freq)))
+        self.total = int(self.cum[-1])
+        self._low = 0
+        self._range = _MASK
+        self._out = bytearray()
+
+    def encode(self, symbols: np.ndarray) -> bytes:
+        freq = self.freq
+        cum = self.cum
+        total = self.total
+        low, rng = self._low, self._range
+        out = self._out
+        for s in np.asarray(symbols, dtype=np.int64).ravel():
+            f = int(freq[s])
+            if f == 0:
+                raise ValueError(f"symbol {s} has zero frequency")
+            rng //= total
+            low = (low + int(cum[s]) * rng) & _MASK
+            rng *= f
+            # renormalize
+            while (low ^ (low + rng)) < _TOP or (
+                rng < _BOT and ((rng := -low & (_BOT - 1)) or True)
+            ):
+                out.append((low >> 24) & 0xFF)
+                low = (low << 8) & _MASK
+                rng = (rng << 8) & _MASK
+        # flush
+        for _ in range(4):
+            out.append((low >> 24) & 0xFF)
+            low = (low << 8) & _MASK
+        return bytes(out)
+
+
+class RangeDecoder:
+    """Mirror of :class:`RangeEncoder`."""
+
+    def __init__(self, frequencies: np.ndarray, data: bytes) -> None:
+        self.freq = _quantized_freqs(frequencies)
+        self.cum = np.concatenate(([0], np.cumsum(self.freq)))
+        self.total = int(self.cum[-1])
+        self._data = data
+        self._pos = 0
+        self._low = 0
+        self._range = _MASK
+        self._code = 0
+        for _ in range(4):
+            self._code = ((self._code << 8) | self._next_byte()) & _MASK
+
+    def _next_byte(self) -> int:
+        if self._pos < len(self._data):
+            b = self._data[self._pos]
+            self._pos += 1
+            return b
+        return 0
+
+    def decode(self, count: int) -> np.ndarray:
+        cum = self.cum
+        total = self.total
+        low, rng, code = self._low, self._range, self._code
+        out = np.empty(count, dtype=np.int64)
+        for i in range(count):
+            rng //= total
+            value = ((code - low) & _MASK) // rng
+            if value >= total:
+                raise ValueError("corrupt range-coded stream")
+            s = int(np.searchsorted(cum, value, side="right")) - 1
+            out[i] = s
+            low = (low + int(cum[s]) * rng) & _MASK
+            rng *= int(self.freq[s])
+            while (low ^ (low + rng)) < _TOP or (
+                rng < _BOT and ((rng := -low & (_BOT - 1)) or True)
+            ):
+                code = ((code << 8) | self._next_byte()) & _MASK
+                low = (low << 8) & _MASK
+                rng = (rng << 8) & _MASK
+        self._low, self._range, self._code = low, rng, code
+        return out
+
+
+def range_encode(symbols: np.ndarray, alphabet_size: int | None = None) -> tuple[bytes, np.ndarray]:
+    """One-shot helper: returns ``(payload, frequency_table)``."""
+    symbols = np.asarray(symbols, dtype=np.int64).ravel()
+    size = int(alphabet_size if alphabet_size is not None else (symbols.max() + 1 if symbols.size else 1))
+    freq = np.bincount(symbols, minlength=size)
+    if symbols.size == 0:
+        return b"", freq
+    payload = RangeEncoder(freq).encode(symbols)
+    return payload, freq
+
+
+def range_decode(payload: bytes, frequencies: np.ndarray, count: int) -> np.ndarray:
+    """Inverse of :func:`range_encode`."""
+    if count == 0:
+        return np.zeros(0, dtype=np.int64)
+    return RangeDecoder(frequencies, payload).decode(count)

@@ -1,0 +1,48 @@
+"""Zero run-length coding for integer symbol streams.
+
+Quantization-code streams from smooth scientific data are dominated by the
+"exactly predicted" symbol; collapsing its runs before entropy coding is the
+same trick SZ3's encoder plays. Fully vectorized via run-boundary detection.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def zero_rle_encode(symbols: np.ndarray, zero_symbol: int = 0) -> tuple[np.ndarray, np.ndarray]:
+    """Split a stream into (non-zero symbols, preceding zero-run lengths).
+
+    Returns ``(values, run_lengths)`` where ``run_lengths[i]`` is the number
+    of ``zero_symbol`` entries immediately before ``values[i]``; a final
+    sentinel pair ``(zero_symbol, trailing_run)`` is appended when the stream
+    ends in zeros, so the encoding is always invertible given the pair.
+    """
+    symbols = np.asarray(symbols, dtype=np.int64).ravel()
+    nz = np.flatnonzero(symbols != zero_symbol)
+    values = symbols[nz]
+    boundaries = np.concatenate(([-1], nz))
+    runs = np.diff(boundaries) - 1
+    trailing = symbols.size - (int(nz[-1]) + 1 if nz.size else 0)
+    values = np.concatenate((values, [zero_symbol]))
+    runs = np.concatenate((runs, [trailing]))
+    return values, runs
+
+
+def zero_rle_decode(
+    values: np.ndarray, runs: np.ndarray, zero_symbol: int = 0
+) -> np.ndarray:
+    """Invert :func:`zero_rle_encode`."""
+    values = np.asarray(values, dtype=np.int64).ravel()
+    runs = np.asarray(runs, dtype=np.int64).ravel()
+    if values.size != runs.size:
+        raise ValueError("values and runs must have equal length")
+    if values.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    if (runs < 0).any():
+        raise ValueError("run lengths must be non-negative")
+    total = int(runs.sum()) + values.size - 1  # sentinel carries no symbol
+    out = np.full(total, zero_symbol, dtype=np.int64)
+    positions = np.cumsum(runs[:-1] + 1) - 1
+    out[positions] = values[:-1]
+    return out

@@ -1,0 +1,73 @@
+"""The five FXRZ compressibility features (paper Eqs. (5)-(8)).
+
+*Mean value* and *value range* capture a dataset's amplitude and spread;
+*MND*, *MLD* and *MSD* capture local/spatial smoothness — the quantities
+prediction-based compressors exploit. All three smoothness features are
+averaged absolute deviations of a point from a neighbour-based prediction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.transforms.lorenzo import lorenzo_predict
+from repro.transforms.spline import spline_predict_axis
+
+FEATURE_NAMES = ("mean", "range", "mnd", "mld", "msd")
+
+
+def mean_neighbor_difference(data: np.ndarray) -> float:
+    """Eq. (5): mean |d - average of the 2*ndim axis neighbours|.
+
+    Boundary points use their available neighbours (the serial CPU
+    convention; the parallel extractor excludes the surface instead).
+    """
+    data = np.asarray(data, dtype=np.float64)
+    total = np.zeros_like(data)
+    count = np.zeros_like(data)
+    for axis in range(data.ndim):
+        moved = np.moveaxis(data, axis, 0)
+        t = np.moveaxis(total, axis, 0)
+        c = np.moveaxis(count, axis, 0)
+        t[1:] += moved[:-1]
+        c[1:] += 1.0
+        t[:-1] += moved[1:]
+        c[:-1] += 1.0
+    return float(np.abs(data - total / np.maximum(count, 1.0)).mean())
+
+
+def mean_lorenzo_difference(data: np.ndarray) -> float:
+    """Eq. (6): mean |d - Lorenzo prediction| over interior points.
+
+    The first slice along each axis has no backward neighbours (the
+    predictor would see zeros), so it is excluded — otherwise a constant
+    field would report a spurious nonzero Lorenzo difference.
+    """
+    data = np.asarray(data, dtype=np.float64)
+    res = np.abs(data - lorenzo_predict(data))
+    interior = tuple(slice(1, None) if s > 1 else slice(None) for s in data.shape)
+    sub = res[interior]
+    return float(sub.mean()) if sub.size else float(res.mean())
+
+
+def mean_spline_difference(data: np.ndarray) -> float:
+    """Eqs. (7)-(8): mean over points of sum over axes |d - spline(d)|."""
+    data = np.asarray(data, dtype=np.float64)
+    acc = np.zeros_like(data)
+    for axis in range(data.ndim):
+        acc += np.abs(data - spline_predict_axis(data, axis))
+    return float(acc.mean())
+
+
+def feature_vector(data: np.ndarray) -> np.ndarray:
+    """All five features as ``[mean, range, MND, MLD, MSD]``."""
+    data = np.asarray(data, dtype=np.float64)
+    return np.array(
+        [
+            float(data.mean()),
+            float(data.max() - data.min()),
+            mean_neighbor_difference(data),
+            mean_lorenzo_difference(data),
+            mean_spline_difference(data),
+        ]
+    )

@@ -1,0 +1,37 @@
+"""From-scratch ML substrate.
+
+FXRZ's model stack (random forest + randomized grid search with k-fold
+cross-validation) and CAROL's replacement trainer (Gaussian-process Bayesian
+optimization with warm-start checkpointing), implemented on NumPy only:
+
+- :mod:`repro.ml.tree` — CART regression trees with vectorized split search;
+- :mod:`repro.ml.forest` — bagging random-forest regressor;
+- :mod:`repro.ml.kfold` — k-fold cross-validation;
+- :mod:`repro.ml.space` — the paper's hyper-parameter space (396 000
+  configurations) and a scaled variant for laptop-scale benchmarks;
+- :mod:`repro.ml.grid_search` — FXRZ's randomized grid search;
+- :mod:`repro.ml.gp` — Gaussian-process regression (Matérn 5/2);
+- :mod:`repro.ml.bayesopt` — expected-improvement Bayesian optimization
+  with checkpointable observations.
+"""
+
+from repro.ml.bayesopt import BayesianOptimizer
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.gp import GaussianProcess
+from repro.ml.grid_search import RandomizedGridSearch
+from repro.ml.kfold import KFold, cross_val_score
+from repro.ml.space import PAPER_SPACE, SCALED_SPACE, SearchSpace
+from repro.ml.tree import DecisionTreeRegressor
+
+__all__ = [
+    "DecisionTreeRegressor",
+    "RandomForestRegressor",
+    "KFold",
+    "cross_val_score",
+    "SearchSpace",
+    "PAPER_SPACE",
+    "SCALED_SPACE",
+    "RandomizedGridSearch",
+    "GaussianProcess",
+    "BayesianOptimizer",
+]

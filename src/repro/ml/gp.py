@@ -1,0 +1,121 @@
+"""Gaussian-process regression with a Matérn 5/2 kernel.
+
+The surrogate model behind CAROL's Bayesian-optimization trainer. Inputs
+live in the unit hypercube (the encoded hyper-parameter space), outputs are
+standardized internally. Kernel hyper-parameters (lengthscale, signal and
+noise variance) are selected by L-BFGS on the log marginal likelihood with
+a couple of restarts — observation counts are small (tens), so the cubic
+Cholesky cost is negligible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.linalg import cho_factor, cho_solve
+from scipy.optimize import minimize
+
+_SQRT5 = np.sqrt(5.0)
+_JITTER = 1e-10
+
+
+def matern52(X1: np.ndarray, X2: np.ndarray, lengthscale: float) -> np.ndarray:
+    """Matérn 5/2 correlation matrix between row sets ``X1`` and ``X2``."""
+    d = np.sqrt(
+        np.maximum(
+            ((X1[:, None, :] - X2[None, :, :]) ** 2).sum(axis=2), 0.0
+        )
+    ) / lengthscale
+    return (1.0 + _SQRT5 * d + 5.0 / 3.0 * d * d) * np.exp(-_SQRT5 * d)
+
+
+class GaussianProcess:
+    """Exact GP regressor; ``fit`` optimizes kernel hyper-parameters."""
+
+    def __init__(
+        self,
+        lengthscale: float = 0.3,
+        signal_var: float = 1.0,
+        noise_var: float = 1e-4,
+        optimize: bool = True,
+        n_restarts: int = 1,
+        random_state: int = 0,
+    ) -> None:
+        self.lengthscale = float(lengthscale)
+        self.signal_var = float(signal_var)
+        self.noise_var = float(noise_var)
+        self.optimize = bool(optimize)
+        self.n_restarts = int(n_restarts)
+        self.random_state = random_state
+        self._X: np.ndarray | None = None
+        self._alpha: np.ndarray | None = None
+        self._chol = None
+        self._y_mean = 0.0
+        self._y_std = 1.0
+
+    # -- internals -----------------------------------------------------------
+
+    def _nll(self, log_params: np.ndarray, X: np.ndarray, y: np.ndarray) -> float:
+        ls, sv, nv = np.exp(log_params)
+        K = sv * matern52(X, X, ls) + (nv + _JITTER) * np.eye(X.shape[0])
+        try:
+            chol = cho_factor(K, lower=True)
+        except np.linalg.LinAlgError:
+            return 1e25
+        alpha = cho_solve(chol, y)
+        logdet = 2.0 * np.log(np.diag(chol[0])).sum()
+        return float(0.5 * y @ alpha + 0.5 * logdet)
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "GaussianProcess":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64).ravel()
+        if X.ndim != 2 or X.shape[0] != y.size or X.shape[0] == 0:
+            raise ValueError("X must be (n, d) matching non-empty y")
+        self._y_mean = float(y.mean())
+        self._y_std = float(y.std()) or 1.0
+        yn = (y - self._y_mean) / self._y_std
+
+        best = np.log([self.lengthscale, self.signal_var, self.noise_var])
+        if self.optimize and X.shape[0] >= 3:
+            rng = np.random.default_rng(self.random_state)
+            starts = [best] + [
+                np.log(
+                    [
+                        rng.uniform(0.05, 1.0),
+                        rng.uniform(0.3, 3.0),
+                        rng.uniform(1e-6, 1e-2),
+                    ]
+                )
+                for _ in range(self.n_restarts)
+            ]
+            best_val = np.inf
+            bounds = [(-4.0, 2.0), (-4.0, 4.0), (-16.0, 0.0)]
+            for s in starts:
+                res = minimize(
+                    self._nll, s, args=(X, yn), method="L-BFGS-B", bounds=bounds
+                )
+                if res.fun < best_val:
+                    best_val = res.fun
+                    best = res.x
+        self.lengthscale, self.signal_var, self.noise_var = np.exp(best)
+
+        K = self.signal_var * matern52(X, X, self.lengthscale)
+        K += (self.noise_var + _JITTER) * np.eye(X.shape[0])
+        self._chol = cho_factor(K, lower=True)
+        self._alpha = cho_solve(self._chol, yn)
+        self._X = X
+        return self
+
+    def predict(self, X: np.ndarray, return_std: bool = False):
+        if self._X is None:
+            raise RuntimeError("GP is not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim == 1:
+            X = X[None, :]
+        Ks = self.signal_var * matern52(X, self._X, self.lengthscale)
+        mean = Ks @ self._alpha * self._y_std + self._y_mean
+        if not return_std:
+            return mean
+        v = cho_solve(self._chol, Ks.T)
+        var = self.signal_var - (Ks * v.T).sum(axis=1)
+        var = np.maximum(var, 1e-12)
+        return mean, np.sqrt(var) * self._y_std

@@ -1,0 +1,36 @@
+"""SECRE: surrogate-based compression-ratio estimation (Khan et al., HiPC'23).
+
+Each estimator mimics one compressor with (a) data sampling matched to the
+compressor's compression window and (b) a lightweight pipeline that skips the
+expensive stages (Table 1 of the CAROL paper):
+
+============  ===========  ==========================================
+compressor    sampling     surrogate pipeline
+============  ===========  ==========================================
+SZx           block-wise   delta encoding on sampled blocks
+ZFP           block-wise   full transform+embedded coding on samples
+SZ3           point-wise   last-level spline interp, *no* Huffman/LZ
+SPERR         large chunk  wavelet+SPECK on one chunk, *no* outliers/LZ
+============  ===========  ==========================================
+
+The skipped stages are exactly why SECRE is near-exact for SZx/ZFP but
+systematically biased (up to tens of %) for SZ3/SPERR — the behaviour
+CAROL's calibration corrects.
+"""
+
+from repro.surrogate.base import SurrogateEstimator
+from repro.surrogate.registry import available_surrogates, get_surrogate
+from repro.surrogate.sperr_surrogate import SPERRSurrogate
+from repro.surrogate.sz3_surrogate import SZ3Surrogate
+from repro.surrogate.szx_surrogate import SZXSurrogate
+from repro.surrogate.zfp_surrogate import ZFPSurrogate
+
+__all__ = [
+    "SurrogateEstimator",
+    "SZXSurrogate",
+    "ZFPSurrogate",
+    "SZ3Surrogate",
+    "SPERRSurrogate",
+    "get_surrogate",
+    "available_surrogates",
+]

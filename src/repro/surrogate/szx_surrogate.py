@@ -1,0 +1,40 @@
+"""SZx surrogate: block-wise sampling + the same delta encoding.
+
+SZx compresses every 128-value block independently, so compressing a sample
+of blocks and extrapolating the per-byte cost is nearly exact — the paper
+reports 0.16% estimation error for this surrogate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compressors.szx import BLOCK, SZXCompressor
+from repro.surrogate.base import SurrogateEstimator
+from repro.surrogate.sampling import sample_flat_blocks
+
+
+class SZXSurrogate(SurrogateEstimator):
+    """Samples one block every ``stride`` and runs real SZx on the sample."""
+
+    compressor_name = "szx"
+
+    def __init__(self, stride: int = 128, block_size: int = BLOCK) -> None:
+        self.stride = int(stride)
+        self.block_size = int(block_size)
+        self._codec = SZXCompressor(block_size=block_size)
+
+    def _estimate_curve(self, data: np.ndarray, ebs: np.ndarray, itemsize: int) -> np.ndarray:
+        # min_blocks=32 keeps sampling noise low on the scaled-down datasets;
+        # on paper-sized data the stride stays at the faithful 1-in-128.
+        sample, _fraction = sample_flat_blocks(data, self.block_size, self.stride, min_blocks=32)
+        sample32 = sample.astype(np.float32) if itemsize == 4 else sample
+        out = np.empty(ebs.size)
+        for i, eb in enumerate(ebs):
+            res = self._codec.compress(sample32, float(eb))
+            # Per-value compressed cost on the sample extrapolates to the
+            # full array; exclude the fixed header from the per-value cost.
+            per_value = (res.compressed_bytes - res._HEADER_BYTES) / sample.size
+            est_bytes = per_value * data.size + res._HEADER_BYTES
+            out[i] = (data.size * itemsize) / est_bytes
+        return out

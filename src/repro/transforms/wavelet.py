@@ -1,0 +1,124 @@
+"""CDF 9/7 biorthogonal wavelet via lifting (SPERR's transform).
+
+In-place lifting with whole-point symmetric extension (the JPEG2000 / SPERR
+convention), valid for any signal length >= 2, any dimensionality, and any
+number of decomposition levels. Forward and inverse are exact mutual
+inverses up to floating-point rounding — verified by property tests.
+
+Each 1-D pass is vectorized across all other axes: the lifting update for
+one parity class is a single strided numpy statement, so a 3-D multilevel
+transform costs a handful of array operations per axis per level.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+# Standard CDF 9/7 lifting coefficients.
+_ALPHA = -1.586134342059924
+_BETA = -0.052980118572961
+_GAMMA = 0.882911075530934
+_DELTA = 0.443506852043971
+# Scale making the low-pass DC gain sqrt(2) (near-orthonormal bands).
+_SCALE = 1.149604398860241
+
+
+def _lift_step(x: np.ndarray, coef: float, parity: int) -> None:
+    """x[i] += coef * (x[i-1] + x[i+1]) for all i of given parity, axis 0.
+
+    Symmetric extension: x[-1] -> x[1], x[n] -> x[n-2]. Neighbours always
+    have the *other* parity, so the vectorized update has no read-after-write
+    hazard.
+    """
+    n = x.shape[0]
+    left = np.concatenate((x[1:2], x[: n - 1]), axis=0)
+    right = np.concatenate((x[1:], x[n - 2 : n - 1]), axis=0)
+    x[parity::2] += coef * (left[parity::2] + right[parity::2])
+
+
+def _fwd_axis(x: np.ndarray) -> np.ndarray:
+    """Forward 1-D transform along axis 0; returns [lowpass | highpass]."""
+    n = x.shape[0]
+    if n < 2:
+        return x
+    _lift_step(x, _ALPHA, 1)
+    _lift_step(x, _BETA, 0)
+    _lift_step(x, _GAMMA, 1)
+    _lift_step(x, _DELTA, 0)
+    low = x[0::2] * _SCALE
+    high = x[1::2] * (1.0 / _SCALE)
+    return np.concatenate((low, high), axis=0)
+
+
+def _inv_axis(x: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`_fwd_axis` along axis 0."""
+    n = x.shape[0]
+    if n < 2:
+        return x
+    half = (n + 1) // 2
+    out = np.empty_like(x)
+    out[0::2] = x[:half] * (1.0 / _SCALE)
+    out[1::2] = x[half:] * _SCALE
+    _lift_step(out, -_DELTA, 0)
+    _lift_step(out, -_GAMMA, 1)
+    _lift_step(out, -_BETA, 0)
+    _lift_step(out, -_ALPHA, 1)
+    return out
+
+
+def _level_shape(shape: tuple[int, ...], level: int) -> tuple[int, ...]:
+    """Extent of the low-pass corner after ``level`` decompositions."""
+    out = list(shape)
+    for _ in range(level):
+        out = [(s + 1) // 2 if s >= 2 else s for s in out]
+    return tuple(out)
+
+
+def max_levels(shape: tuple[int, ...], min_extent: int = 8) -> int:
+    """Decomposition levels until the low-pass corner reaches ``min_extent``."""
+    levels = 0
+    dims = list(shape)
+    while all(s >= 2 * min_extent for s in dims if s > 1) and any(s > 1 for s in dims):
+        dims = [(s + 1) // 2 if s >= 2 else s for s in dims]
+        levels += 1
+        if levels > 32:  # pragma: no cover - safety valve
+            break
+    return max(levels, 1)
+
+
+def cdf97_forward(data: np.ndarray, levels: int) -> np.ndarray:
+    """Multilevel Mallat decomposition. Returns the coefficient array.
+
+    The level-``l`` low-pass corner occupies the leading
+    ``ceil(shape / 2**l)`` extent of each axis.
+    """
+    coeffs = np.array(data, dtype=np.float64, copy=True)
+    if levels < 0:
+        raise ValueError("levels must be >= 0")
+    for level in range(levels):
+        region = tuple(slice(0, s) for s in _level_shape(coeffs.shape, level))
+        sub = coeffs[region].copy()
+        for axis in range(sub.ndim):
+            if sub.shape[axis] < 2:
+                continue
+            moved = np.moveaxis(sub, axis, 0).copy()
+            moved = _fwd_axis(moved)
+            sub = np.moveaxis(moved, 0, axis)
+        coeffs[region] = sub
+    return coeffs
+
+
+def cdf97_inverse(coeffs: np.ndarray, levels: int) -> np.ndarray:
+    """Invert :func:`cdf97_forward`."""
+    data = np.array(coeffs, dtype=np.float64, copy=True)
+    for level in range(levels - 1, -1, -1):
+        region = tuple(slice(0, s) for s in _level_shape(data.shape, level))
+        sub = data[region].copy()
+        for axis in range(sub.ndim - 1, -1, -1):
+            if sub.shape[axis] < 2:
+                continue
+            moved = np.moveaxis(sub, axis, 0).copy()
+            moved = _inv_axis(moved)
+            sub = np.moveaxis(moved, 0, axis)
+        data[region] = sub
+    return data

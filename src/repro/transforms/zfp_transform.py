@@ -1,0 +1,70 @@
+"""ZFP's decorrelating block transform on 4^d blocks.
+
+ZFP applies a non-orthogonal linear transform along each dimension of a
+4x4x4 block (zfp documentation, "the transform"):
+
+            ( 4  4  4  4 )
+    1/16 *  ( 5  1 -1 -5 )
+            (-4  4  4 -4 )
+            (-2  6 -6  2 )
+
+The reference implementation runs it in integer lifting form; we apply the
+same matrix in float64 (with its exact matrix inverse), which keeps the
+identical decorrelation behaviour while being trivially vectorizable over
+all blocks at once with one einsum per dimension.
+
+Also provides the total-degree coefficient ordering ZFP uses so that
+low-frequency coefficients come first in the embedded stream.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_FWD = np.array(
+    [
+        [4.0, 4.0, 4.0, 4.0],
+        [5.0, 1.0, -1.0, -5.0],
+        [-4.0, 4.0, 4.0, -4.0],
+        [-2.0, 6.0, -6.0, 2.0],
+    ]
+) / 16.0
+_INV = np.linalg.inv(_FWD)
+
+
+def _apply_along(blocks: np.ndarray, matrix: np.ndarray) -> np.ndarray:
+    """Apply ``matrix`` along every block axis of ``blocks``.
+
+    ``blocks`` has shape (nblocks, 4[, 4[, 4]]); axis 0 indexes blocks.
+    """
+    out = blocks
+    for axis in range(1, blocks.ndim):
+        out = np.moveaxis(np.tensordot(matrix, out, axes=([1], [axis])), 0, axis)
+    return out
+
+
+def zfp_block_forward(blocks: np.ndarray) -> np.ndarray:
+    """Decorrelate a batch of 4^d blocks (batched over axis 0)."""
+    return _apply_along(np.asarray(blocks, dtype=np.float64), _FWD)
+
+
+def zfp_block_inverse(blocks: np.ndarray) -> np.ndarray:
+    """Exactly invert :func:`zfp_block_forward` (up to fp rounding)."""
+    return _apply_along(np.asarray(blocks, dtype=np.float64), _INV)
+
+
+def coefficient_order(ndim: int) -> np.ndarray:
+    """Flat indices of a 4^d block sorted by total frequency (degree).
+
+    ZFP emits coefficients in order of increasing sum of per-axis indices so
+    the embedded stream carries low frequencies first; ties broken by the
+    flat index for determinism.
+    """
+    if ndim < 1 or ndim > 3:
+        raise ValueError("ZFP blocks support 1-3 dimensions")
+    grids = np.meshgrid(*([np.arange(4)] * ndim), indexing="ij")
+    degree = np.zeros((4,) * ndim, dtype=np.int64)
+    for g in grids:
+        degree += g
+    flat_degree = degree.ravel()
+    return np.lexsort((np.arange(flat_degree.size), flat_degree))

@@ -1,0 +1,21 @@
+"""Shared utilities: timing, validation, serialization."""
+
+from repro.utils.timing import Timer, TimingRecord, timed
+from repro.utils.validation import (
+    as_float_array,
+    check_error_bound,
+    check_positive_int,
+    check_probability,
+    require_finite,
+)
+
+__all__ = [
+    "Timer",
+    "TimingRecord",
+    "timed",
+    "as_float_array",
+    "check_error_bound",
+    "check_positive_int",
+    "check_probability",
+    "require_finite",
+]

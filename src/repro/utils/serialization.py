@@ -1,0 +1,132 @@
+"""Persistence for trained models and frameworks.
+
+Production deployments train once and serve many inference calls, often in
+a different process (the paper's use cases 1-3 all separate setup from
+serving). Everything needed at inference time — forest structure, feature
+configuration, the Bayesian-optimization checkpoint for later refinement —
+round-trips through a single ``.npz`` archive, with no pickle involved
+(forests are flat arrays already).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.tree import DecisionTreeRegressor
+
+_FORMAT_VERSION = 1
+
+
+def _tree_arrays(tree: DecisionTreeRegressor, idx: int) -> dict[str, np.ndarray]:
+    return {
+        f"t{idx}_feature": tree.feature,
+        f"t{idx}_threshold": tree.threshold,
+        f"t{idx}_left": tree.left,
+        f"t{idx}_right": tree.right,
+        f"t{idx}_value": tree.value,
+        f"t{idx}_n_samples": tree.n_samples,
+        f"t{idx}_mse": tree.mse,
+    }
+
+
+def _tree_from_arrays(data, idx: int) -> DecisionTreeRegressor:
+    tree = DecisionTreeRegressor()
+    tree.feature = data[f"t{idx}_feature"]
+    tree.threshold = data[f"t{idx}_threshold"]
+    tree.left = data[f"t{idx}_left"]
+    tree.right = data[f"t{idx}_right"]
+    tree.value = data[f"t{idx}_value"]
+    tree.n_samples = data[f"t{idx}_n_samples"]
+    tree.mse = data[f"t{idx}_mse"]
+    return tree
+
+
+def save_forest(path: str | Path, forest: RandomForestRegressor, extra: dict | None = None) -> Path:
+    """Serialize a fitted forest (plus an optional JSON-able ``extra`` dict)."""
+    if not forest.trees:
+        raise ValueError("cannot save an unfitted forest")
+    path = Path(path)
+    arrays: dict[str, np.ndarray] = {}
+    for i, tree in enumerate(forest.trees):
+        arrays.update(_tree_arrays(tree, i))
+    meta = {
+        "version": _FORMAT_VERSION,
+        "n_trees": len(forest.trees),
+        "params": forest.get_params(),
+        "extra": extra or {},
+    }
+    arrays["meta_json"] = np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)
+    np.savez_compressed(path, **arrays)
+    # np.savez appends .npz if missing; normalize the returned path.
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_forest(path: str | Path) -> tuple[RandomForestRegressor, dict]:
+    """Inverse of :func:`save_forest`; returns ``(forest, extra)``."""
+    with np.load(Path(path)) as data:
+        meta = json.loads(bytes(data["meta_json"].tobytes()).decode())
+        if meta.get("version") != _FORMAT_VERSION:
+            raise ValueError(f"unsupported model format version {meta.get('version')!r}")
+        forest = RandomForestRegressor(**meta["params"])
+        forest.trees = [_tree_from_arrays(data, i) for i in range(meta["n_trees"])]
+    return forest, meta["extra"]
+
+
+def save_framework(path: str | Path, framework) -> Path:
+    """Persist a fitted framework's inference state.
+
+    Saves the forest, the trained error-bound range, the compressor name,
+    the framework class name, and (for CAROL) the BO checkpoint so that a
+    reloaded framework can both predict and :meth:`refine`.
+    """
+    model = framework.model
+    if model.forest is None:
+        raise ValueError("framework is not fitted")
+    extra = {
+        "framework": framework.name,
+        "compressor": framework.compressor_name,
+        "feature_names": model.feature_names,
+        "eb_range": list(model._eb_range),
+        "checkpoint": _jsonify_checkpoint(model.checkpoint),
+    }
+    return save_forest(path, model.forest, extra=extra)
+
+
+def load_framework(path: str | Path):
+    """Reconstruct a framework saved by :func:`save_framework`."""
+    from repro.core.carol import CarolFramework
+    from repro.core.fxrz import FxrzFramework
+    from repro.core.training import TrainingInfo
+
+    forest, extra = load_forest(path)
+    cls = {"carol": CarolFramework, "fxrz": FxrzFramework}[extra["framework"]]
+    fw = cls(compressor=extra["compressor"])
+    fw.model.forest = forest
+    fw.model.feature_names = list(extra["feature_names"])
+    fw.model._eb_range = tuple(extra["eb_range"])
+    checkpoint = _dejsonify_checkpoint(extra.get("checkpoint"))
+    fw.model.info = TrainingInfo(
+        method="loaded",
+        best_params=forest.get_params(),
+        best_score=float("nan"),
+        elapsed=0.0,
+        n_evaluations=0,
+        checkpoint=checkpoint,
+    )
+    return fw
+
+
+def _jsonify_checkpoint(checkpoint):
+    if checkpoint is None:
+        return None
+    return [[params, float(score)] for params, score in checkpoint]
+
+
+def _dejsonify_checkpoint(raw):
+    if not raw:
+        return None
+    return [(dict(params), float(score)) for params, score in raw]

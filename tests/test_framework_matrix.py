@@ -1,0 +1,50 @@
+"""Framework x codec x model-kind matrix: every combination serves requests.
+
+The paper's portability claim in test form: both frameworks must work for
+every registered compressor (including the cuSZp extension with its
+fallback surrogate) and for every model family.
+"""
+
+import numpy as np
+import pytest
+
+from repro import CarolFramework, FxrzFramework, load_dataset, load_field
+from repro.compressors import available_compressors
+
+SHAPE = (12, 16, 16)
+REL = np.geomspace(1e-3, 1e-1, 5)
+
+
+@pytest.fixture(scope="module")
+def train_fields():
+    return load_dataset("miranda", shape=SHAPE)[:3]
+
+
+@pytest.fixture(scope="module")
+def test_field():
+    return load_field("miranda/diffusivity", shape=SHAPE, seed=88)
+
+
+@pytest.mark.parametrize("codec", available_compressors())
+@pytest.mark.parametrize("cls", [CarolFramework, FxrzFramework], ids=["carol", "fxrz"])
+def test_every_codec_every_framework(cls, codec, train_fields, test_field):
+    fw = cls(compressor=codec, rel_error_bounds=REL, n_iter=3, cv=2)
+    report = fw.fit(train_fields)
+    assert report.n_rows == 3 * REL.size
+    result, pred = fw.compress_to_ratio(test_field.data, 4.0)
+    assert pred.error_bound > 0
+    assert result.ratio > 1.0
+    # prediction stayed within the trained error-bound envelope
+    ebs = np.concatenate([r.error_bounds for r in fw.training_data.records])
+    assert ebs.min() * 0.1 <= pred.error_bound <= ebs.max() * 10
+
+
+@pytest.mark.parametrize("model_kind", ["forest", "gbt", "knn"])
+def test_every_model_kind_end_to_end(model_kind, train_fields, test_field):
+    fw = CarolFramework(
+        compressor="szx", rel_error_bounds=REL, n_iter=3, cv=2, model_kind=model_kind
+    )
+    fw.fit(train_fields)
+    assert fw.model.info.model_kind == model_kind
+    result, pred = fw.compress_to_ratio(test_field.data, 4.0)
+    assert result.ratio > 1.0

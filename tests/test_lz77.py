@@ -1,0 +1,70 @@
+"""Unit tests for the LZ77 lossless backend."""
+
+import numpy as np
+import pytest
+
+from repro.encoding.lz77 import lz77_compress, lz77_decompress
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "data",
+        [
+            b"",
+            b"a",
+            b"abc",
+            b"aaaa",
+            b"abcabcabcabc",
+            b"the quick brown fox " * 40,
+            bytes(range(256)),
+        ],
+    )
+    def test_fixed_inputs(self, data):
+        assert lz77_decompress(lz77_compress(data)) == data
+
+    def test_random_bytes(self, rng):
+        data = bytes(rng.integers(0, 256, 5000).astype(np.uint8))
+        assert lz77_decompress(lz77_compress(data)) == data
+
+    def test_low_entropy_bytes(self, rng):
+        data = bytes(rng.integers(0, 3, 8000).astype(np.uint8))
+        blob = lz77_compress(data)
+        assert lz77_decompress(blob) == data
+        assert len(blob) < len(data)  # must actually compress
+
+    def test_overlapping_match(self):
+        # Runs force distance < length copies.
+        data = b"x" + b"ab" * 1000
+        assert lz77_decompress(lz77_compress(data)) == data
+
+    def test_long_zero_run(self):
+        data = b"\x00" * 100_000
+        blob = lz77_compress(data)
+        assert len(blob) < 200
+        assert lz77_decompress(blob) == data
+
+
+class TestCompressionBehaviour:
+    def test_incompressible_overhead_bounded(self, rng):
+        data = bytes(rng.integers(0, 256, 4096).astype(np.uint8))
+        blob = lz77_compress(data)
+        assert len(blob) <= len(data) * 1.05 + 16
+
+    def test_repetition_beats_noise(self, rng):
+        rep = b"pattern!" * 512
+        noise = bytes(rng.integers(0, 256, len(rep)).astype(np.uint8))
+        assert len(lz77_compress(rep)) < 0.2 * len(lz77_compress(noise))
+
+
+class TestCorruption:
+    def test_bad_distance_detected(self):
+        blob = bytearray(lz77_compress(b"abcdabcdabcd"))
+        # Token structure: forge a stream claiming an impossible distance.
+        forged = bytes([12, 0, 4, 200])  # total=12, lit=0, len=4, dist=200
+        with pytest.raises(ValueError):
+            lz77_decompress(forged)
+
+    def test_truncated_stream(self):
+        blob = lz77_compress(b"hello world hello world")
+        with pytest.raises((ValueError, IndexError)):
+            lz77_decompress(blob[: len(blob) // 2])

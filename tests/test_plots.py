@@ -1,0 +1,63 @@
+"""ASCII plot renderer tests."""
+
+import numpy as np
+import pytest
+
+from repro.bench.plots import ascii_plot
+
+
+class TestRendering:
+    def test_basic_structure(self):
+        x = np.linspace(1, 10, 10)
+        out = ascii_plot({"a": (x, x**2)}, width=30, height=8, title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert sum(1 for l in lines if "|" in l) == 8
+        assert "o a" in out
+
+    def test_multiple_series_distinct_markers(self):
+        x = np.linspace(1, 5, 5)
+        out = ascii_plot({"up": (x, x), "down": (x, x[::-1])})
+        assert "o up" in out and "x down" in out
+        assert "o" in out and "x" in out
+
+    def test_log_axes_labelled(self):
+        x = np.geomspace(1e-3, 1e-1, 8)
+        out = ascii_plot({"s": (x, 10 * x)}, logx=True, logy=True)
+        assert "[log]" in out
+        assert "0.001" in out
+
+    def test_monotone_series_renders_monotone(self):
+        """Marker columns must rise left to right for an increasing series."""
+        x = np.linspace(1, 10, 10)
+        out = ascii_plot({"s": (x, x)}, width=20, height=10)
+        rows = [l.split("|")[1] for l in out.splitlines() if l.count("|") == 2]
+        cols = {}
+        for r, row in enumerate(rows):
+            for c, ch in enumerate(row):
+                if ch == "o":
+                    cols[c] = r
+        xs = sorted(cols)
+        heights = [cols[c] for c in xs]
+        assert all(a >= b for a, b in zip(heights, heights[1:]))
+
+    def test_constant_series(self):
+        x = np.arange(1.0, 6.0)
+        out = ascii_plot({"flat": (x, np.full(5, 3.0))})
+        assert "flat" in out
+
+
+class TestValidation:
+    def test_empty_series_dict(self):
+        with pytest.raises(ValueError):
+            ascii_plot({})
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            ascii_plot({"s": (np.arange(3), np.arange(4))})
+
+    def test_log_with_nonpositive(self):
+        with pytest.raises(ValueError):
+            ascii_plot({"s": (np.array([-1.0, 1.0]), np.ones(2))}, logx=True)
+        with pytest.raises(ValueError):
+            ascii_plot({"s": (np.ones(2), np.array([0.0, 1.0]))}, logy=True)

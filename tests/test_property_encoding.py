@@ -1,0 +1,88 @@
+"""Property-based tests (hypothesis) for the encoding substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.encoding.bitstream import BitReader, BitWriter
+from repro.encoding.huffman import HuffmanCodec, huffman_code_lengths
+from repro.encoding.lz77 import lz77_compress, lz77_decompress
+from repro.encoding.rle import zero_rle_decode, zero_rle_encode
+
+_SETTINGS = dict(max_examples=60, deadline=None)
+
+
+class TestBitstreamProperties:
+    @given(st.lists(st.tuples(st.integers(0, 2**32 - 1), st.integers(1, 48)), max_size=40))
+    @settings(**_SETTINGS)
+    def test_any_sequence_round_trips(self, items):
+        w = BitWriter()
+        for value, width in items:
+            w.write_bits(value & ((1 << width) - 1), width)
+        r = BitReader(w.getvalue())
+        for value, width in items:
+            assert r.read_bits(width) == value & ((1 << width) - 1)
+
+    @given(st.integers(1, 10**9))
+    @settings(**_SETTINGS)
+    def test_elias_gamma_total(self, value):
+        w = BitWriter()
+        w.write_elias_gamma(value)
+        assert BitReader(w.getvalue()).read_elias_gamma() == value
+        # gamma code length = 2*floor(log2 v) + 1
+        assert w.bit_length == 2 * (value.bit_length() - 1) + 1
+
+    @given(st.lists(st.booleans(), max_size=200))
+    @settings(**_SETTINGS)
+    def test_bit_array_round_trip(self, bits):
+        w = BitWriter()
+        w.write_bit_array(np.array(bits, dtype=bool))
+        r = BitReader(w.getvalue())
+        assert list(r.read_bit_array(len(bits))) == bits
+
+
+class TestHuffmanProperties:
+    @given(
+        st.lists(st.integers(0, 20), min_size=1, max_size=500),
+    )
+    @settings(**_SETTINGS)
+    def test_round_trip_any_stream(self, symbols):
+        syms = np.array(symbols, dtype=np.int64)
+        codec = HuffmanCodec.fit(syms)
+        w = BitWriter()
+        codec.encode(syms, w)
+        out = codec.decode(BitReader(w.getvalue()), syms.size)
+        np.testing.assert_array_equal(out, syms)
+
+    @given(st.lists(st.integers(0, 5000), min_size=2, max_size=64))
+    @settings(**_SETTINGS)
+    def test_kraft_holds_for_any_frequencies(self, freqs):
+        lengths = huffman_code_lengths(np.array(freqs, dtype=np.int64))
+        used = lengths[lengths > 0]
+        if used.size:
+            assert (2.0 ** (-used.astype(float))).sum() <= 1.0 + 1e-12
+
+
+class TestLZ77Properties:
+    @given(st.binary(max_size=3000))
+    @settings(**_SETTINGS)
+    def test_round_trip_any_bytes(self, data):
+        assert lz77_decompress(lz77_compress(data)) == data
+
+    @given(st.binary(min_size=1, max_size=200), st.integers(2, 30))
+    @settings(**_SETTINGS)
+    def test_repeated_content_compresses(self, chunk, reps):
+        data = chunk * reps
+        blob = lz77_compress(data)
+        if len(data) > 200:
+            assert len(blob) < len(data)
+        assert lz77_decompress(blob) == data
+
+
+class TestRLEProperties:
+    @given(st.lists(st.integers(-100, 100), max_size=500))
+    @settings(**_SETTINGS)
+    def test_round_trip_any_stream(self, stream):
+        s = np.array(stream, dtype=np.int64)
+        v, r = zero_rle_encode(s)
+        np.testing.assert_array_equal(zero_rle_decode(v, r), s)

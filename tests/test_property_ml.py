@@ -1,0 +1,99 @@
+"""Property-based tests for the ML substrate and calibration algebra."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.metrics import estimation_error, signed_estimation_errors
+from repro.core.prediction import invert_curve
+from repro.ml.space import PAPER_SPACE, SCALED_SPACE
+from repro.ml.tree import DecisionTreeRegressor
+
+_SETTINGS = dict(max_examples=40, deadline=None)
+
+
+class TestTreeProperties:
+    @given(
+        arrays(np.float64, (30, 3), elements=st.floats(-100, 100)),
+        arrays(np.float64, (30,), elements=st.floats(-100, 100)),
+    )
+    @settings(**_SETTINGS)
+    def test_predictions_within_target_range(self, X, y):
+        """A regression tree predicts means of training subsets, so every
+        prediction lies within [min(y), max(y)]."""
+        tree = DecisionTreeRegressor(max_depth=5).fit(X, y)
+        pred = tree.predict(X)
+        assert pred.min() >= y.min() - 1e-9
+        assert pred.max() <= y.max() + 1e-9
+
+    @given(
+        arrays(np.float64, (25, 2), elements=st.floats(-10, 10)),
+        arrays(np.float64, (25,), elements=st.floats(-10, 10)),
+        st.integers(1, 8),
+    )
+    @settings(**_SETTINGS)
+    def test_leaf_sizes_respect_minimum(self, X, y, msl):
+        tree = DecisionTreeRegressor(min_samples_leaf=msl).fit(X, y)
+        leaves = tree.feature == -1
+        assert tree.n_samples[leaves].min() >= min(msl, 25)
+
+
+class TestSpaceProperties:
+    @given(st.integers(0, 2**31 - 1))
+    @settings(**_SETTINGS)
+    def test_sample_encode_decode_identity(self, seed):
+        rng = np.random.default_rng(seed)
+        for space in (PAPER_SPACE, SCALED_SPACE):
+            params = space.sample(rng)
+            assert space.decode(space.encode(params)) == params
+
+
+class TestMetricProperties:
+    @given(
+        arrays(np.float64, (10,), elements=st.floats(0.1, 1e6)),
+        arrays(np.float64, (10,), elements=st.floats(0.1, 1e6)),
+    )
+    @settings(**_SETTINGS)
+    def test_alpha_nonnegative_and_zero_iff_equal(self, true, est):
+        alpha = estimation_error(true, est)
+        assert alpha >= 0
+        assert estimation_error(true, true) == 0.0
+
+    @given(arrays(np.float64, (8,), elements=st.floats(0.1, 1e4)))
+    @settings(**_SETTINGS)
+    def test_signed_correction_is_exact_inverse(self, true):
+        """Applying the signed correction with the exact error recovers the
+        truth — the fixed point of the calibration formulas."""
+        est = true * 1.37
+        alpha = signed_estimation_errors(true, est)
+        recovered = est / (1.0 + alpha / 100.0)
+        np.testing.assert_allclose(recovered, true, rtol=1e-9)
+
+
+class TestInvertCurveProperties:
+    @given(
+        st.floats(1e-4, 1e-1),
+        st.floats(0.2, 3.0),
+        st.floats(0.05, 0.95),
+    )
+    @settings(**_SETTINGS)
+    def test_inverse_consistency_on_powerlaws(self, eb_lo, exponent, frac):
+        """For monotone power-law curves, invert_curve(f(e*)) == e*."""
+        ebs = np.geomspace(eb_lo, eb_lo * 100, 24)
+        ratios = 5.0 * (ebs / ebs[0]) ** exponent
+        target_idx = frac * (ebs.size - 1)
+        e_star = ebs[0] * (ebs[-1] / ebs[0]) ** (target_idx / (ebs.size - 1))
+        target = 5.0 * (e_star / ebs[0]) ** exponent
+        recovered = invert_curve(ebs, ratios, target)
+        np.testing.assert_allclose(recovered, e_star, rtol=1e-6)
+
+    @given(
+        arrays(np.float64, (12,), elements=st.floats(1.0, 1e4)),
+        st.floats(0.5, 2e4),
+    )
+    @settings(**_SETTINGS)
+    def test_result_always_within_grid(self, ratios, target):
+        ebs = np.geomspace(1e-3, 1e-1, 12)
+        eb = invert_curve(ebs, ratios, target)
+        assert ebs[0] * (1 - 1e-9) <= eb <= ebs[-1] * (1 + 1e-9)

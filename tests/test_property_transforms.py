@@ -1,0 +1,89 @@
+"""Property-based tests for transforms and compressors."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.compressors import get_compressor
+from repro.compressors.speck import SpeckCoder
+from repro.encoding.bitstream import BitReader, BitWriter
+from repro.transforms.wavelet import cdf97_forward, cdf97_inverse, max_levels
+from repro.transforms.zfp_transform import zfp_block_forward, zfp_block_inverse
+
+_SETTINGS = dict(max_examples=25, deadline=None)
+
+_finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False, width=64
+)
+
+
+class TestWaveletProperties:
+    @given(
+        arrays(
+            np.float64,
+            array_shapes(min_dims=1, max_dims=3, min_side=2, max_side=20),
+            elements=_finite_floats,
+        )
+    )
+    @settings(**_SETTINGS)
+    def test_perfect_reconstruction_any_shape(self, x):
+        levels = max_levels(x.shape, 2)
+        y = cdf97_inverse(cdf97_forward(x, levels), levels)
+        np.testing.assert_allclose(y, x, atol=1e-6 * max(np.abs(x).max(), 1.0))
+
+    @given(st.floats(min_value=-100, max_value=100, allow_nan=False))
+    @settings(**_SETTINGS)
+    def test_linearity_in_scale(self, scale):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((16, 16))
+        a = cdf97_forward(x, 2) * scale
+        b = cdf97_forward(x * scale, 2)
+        np.testing.assert_allclose(a, b, atol=1e-8 * (abs(scale) + 1))
+
+
+class TestZfpTransformProperties:
+    @given(
+        arrays(np.float64, (3, 4, 4), elements=_finite_floats),
+    )
+    @settings(**_SETTINGS)
+    def test_inverse_property(self, blocks):
+        back = zfp_block_inverse(zfp_block_forward(blocks))
+        np.testing.assert_allclose(back, blocks, atol=1e-7 * max(np.abs(blocks).max(), 1.0))
+
+
+class TestSpeckProperties:
+    @given(
+        arrays(
+            np.int64,
+            array_shapes(min_dims=1, max_dims=3, min_side=1, max_side=12),
+            elements=st.integers(0, 4000),
+        )
+    )
+    @settings(**_SETTINGS)
+    def test_magnitudes_round_trip(self, mag):
+        neg = (mag % 2).astype(bool)
+        coder = SpeckCoder()
+        w = BitWriter()
+        p_top = coder.encode(mag, neg, w)
+        out_mag, out_neg = coder.decode(BitReader(w.bits()), mag.shape, p_top)
+        np.testing.assert_array_equal(out_mag, mag)
+        np.testing.assert_array_equal(out_neg[mag > 0], neg[mag > 0])
+
+
+class TestCompressorProperties:
+    @given(
+        arrays(
+            np.float64,
+            array_shapes(min_dims=1, max_dims=3, min_side=2, max_side=14),
+            elements=_finite_floats,
+        ),
+        st.sampled_from(["szx", "zfp", "sz3", "sperr"]),
+        st.floats(min_value=1e-6, max_value=1.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_error_bound_always_holds(self, data, name, eb):
+        codec = get_compressor(name)
+        out, res = codec.roundtrip(data, eb)
+        assert np.abs(out - data).max() <= eb * (1 + 1e-9)
+        assert res.compressed_bytes > 0

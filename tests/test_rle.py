@@ -1,0 +1,52 @@
+"""Unit tests for zero run-length coding."""
+
+import numpy as np
+import pytest
+
+from repro.encoding.rle import zero_rle_decode, zero_rle_encode
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "stream",
+        [
+            [],
+            [0],
+            [0, 0, 0],
+            [5],
+            [5, 0, 0, 3],
+            [0, 0, 7, 0],
+            [1, 2, 3],
+        ],
+    )
+    def test_fixed_streams(self, stream):
+        s = np.array(stream, dtype=np.int64)
+        v, r = zero_rle_encode(s)
+        np.testing.assert_array_equal(zero_rle_decode(v, r), s)
+
+    def test_random_sparse(self, rng):
+        s = rng.integers(-5, 6, 5000)
+        s[rng.random(5000) < 0.85] = 0
+        v, r = zero_rle_encode(s)
+        np.testing.assert_array_equal(zero_rle_decode(v, r), s)
+        # sparse stream -> far fewer tokens than input elements
+        assert v.size < 0.4 * s.size
+
+    def test_custom_zero_symbol(self, rng):
+        s = rng.integers(0, 4, 200)
+        s[rng.random(200) < 0.7] = 2
+        v, r = zero_rle_encode(s, zero_symbol=2)
+        np.testing.assert_array_equal(zero_rle_decode(v, r, zero_symbol=2), s)
+
+
+class TestValidation:
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            zero_rle_decode(np.array([1, 2]), np.array([0]))
+
+    def test_negative_runs_rejected(self):
+        with pytest.raises(ValueError):
+            zero_rle_decode(np.array([1, 0]), np.array([-1, 0]))
+
+    def test_empty_pair_decodes_empty(self):
+        assert zero_rle_decode(np.zeros(0), np.zeros(0)).size == 0

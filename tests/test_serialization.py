@@ -1,0 +1,90 @@
+"""Model/framework persistence tests."""
+
+import numpy as np
+import pytest
+
+from repro import CarolFramework, FxrzFramework, load_dataset, load_field
+from repro.ml.forest import RandomForestRegressor
+from repro.utils.serialization import (
+    load_forest,
+    load_framework,
+    save_forest,
+    save_framework,
+)
+
+SHAPE = (12, 16, 16)
+REL = np.geomspace(1e-3, 1e-1, 5)
+
+
+class TestForestIO:
+    def test_round_trip_predictions(self, rng, tmp_path):
+        X = rng.random((60, 4))
+        y = X[:, 0] * 3 - X[:, 2]
+        rf = RandomForestRegressor(n_estimators=6, random_state=0).fit(X, y)
+        path = save_forest(tmp_path / "model.npz", rf, extra={"note": "hi"})
+        loaded, extra = load_forest(path)
+        assert extra == {"note": "hi"}
+        np.testing.assert_array_equal(loaded.predict(X), rf.predict(X))
+
+    def test_params_preserved(self, rng, tmp_path):
+        X = rng.random((30, 2))
+        y = X.sum(axis=1)
+        rf = RandomForestRegressor(
+            n_estimators=3, max_depth=4, min_samples_leaf=2, bootstrap=False,
+            max_features="sqrt", random_state=1,
+        ).fit(X, y)
+        loaded, _ = load_forest(save_forest(tmp_path / "m.npz", rf))
+        assert loaded.get_params() == rf.get_params()
+
+    def test_unfitted_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_forest(tmp_path / "m.npz", RandomForestRegressor())
+
+    def test_suffix_added(self, rng, tmp_path):
+        X = rng.random((20, 2))
+        rf = RandomForestRegressor(n_estimators=2, random_state=0).fit(X, X[:, 0])
+        path = save_forest(tmp_path / "model", rf)
+        assert path.suffix == ".npz"
+        assert path.exists()
+
+
+class TestFrameworkIO:
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        fw = CarolFramework(compressor="szx", rel_error_bounds=REL, n_iter=4, cv=2)
+        fw.fit(load_dataset("miranda", shape=SHAPE)[:3])
+        return fw
+
+    def test_round_trip_prediction_identical(self, fitted, tmp_path):
+        field = load_field("miranda/viscosity", shape=SHAPE, seed=5)
+        path = save_framework(tmp_path / "carol.npz", fitted)
+        loaded = load_framework(path)
+        a = fitted.predict_error_bound(field.data, 6.0)
+        b = loaded.predict_error_bound(field.data, 6.0)
+        assert a.error_bound == pytest.approx(b.error_bound)
+        assert loaded.name == "carol"
+        assert loaded.compressor_name == "szx"
+
+    def test_checkpoint_survives(self, fitted, tmp_path):
+        path = save_framework(tmp_path / "carol.npz", fitted)
+        loaded = load_framework(path)
+        assert loaded.model.checkpoint is not None
+        assert len(loaded.model.checkpoint) == len(fitted.model.checkpoint)
+
+    def test_loaded_framework_can_refine(self, fitted, tmp_path):
+        path = save_framework(tmp_path / "carol.npz", fitted)
+        loaded = load_framework(path)
+        rep = loaded.refine(load_dataset("miranda", shape=SHAPE, seed=9)[:2])
+        assert rep.n_rows > 0
+
+    def test_fxrz_round_trip(self, tmp_path):
+        fw = FxrzFramework(compressor="zfp", rel_error_bounds=REL, n_iter=2, cv=2)
+        fw.fit(load_dataset("miranda", shape=SHAPE)[:2])
+        loaded = load_framework(save_framework(tmp_path / "f.npz", fw))
+        assert loaded.name == "fxrz"
+        field = load_field("miranda/density", shape=SHAPE)
+        assert loaded.predict_error_bound(field.data, 3.0).error_bound > 0
+
+    def test_unfitted_framework_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_framework(tmp_path / "x.npz", CarolFramework(compressor="szx"))

@@ -1,0 +1,87 @@
+"""SPECK set-partitioning coder tests."""
+
+import numpy as np
+import pytest
+
+from repro.compressors.speck import SpeckCoder, _build_pyramid, padded_pow2_shape
+from repro.encoding.bitstream import BitReader, BitWriter
+
+
+def roundtrip(mag, neg):
+    coder = SpeckCoder()
+    w = BitWriter()
+    p_top = coder.encode(mag, neg, w)
+    out_mag, out_neg = coder.decode(BitReader(w.bits()), mag.shape, p_top)
+    return out_mag, out_neg, w.bit_length
+
+
+class TestPadding:
+    def test_pow2_shapes(self):
+        assert padded_pow2_shape((5, 8, 3)) == (8, 8, 4)
+        assert padded_pow2_shape((1, 7)) == (1, 8)
+        assert padded_pow2_shape((16,)) == (16,)
+
+
+class TestPyramid:
+    def test_root_is_global_max(self, rng):
+        mag = rng.integers(0, 1000, (8, 8)).astype(np.int64)
+        levels = _build_pyramid(mag)
+        assert levels[-1].ravel()[0] == mag.max()
+
+    def test_level_maxima_cover_children(self, rng):
+        mag = rng.integers(0, 100, (8, 4)).astype(np.int64)
+        levels = _build_pyramid(mag)
+        lvl1 = levels[1]
+        for i in range(lvl1.shape[0]):
+            for j in range(lvl1.shape[1]):
+                block = mag[2 * i : 2 * i + 2, 2 * j : 2 * j + 2]
+                assert lvl1[i, j] == block.max()
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("shape", [(16,), (13,), (8, 8), (7, 9), (4, 6, 5)])
+    def test_exact_magnitudes(self, rng, shape):
+        mag = rng.integers(0, 512, shape).astype(np.int64)
+        neg = rng.random(shape) < 0.5
+        out_mag, out_neg, _ = roundtrip(mag, neg)
+        np.testing.assert_array_equal(out_mag, mag)
+        # signs only matter where magnitude is nonzero
+        np.testing.assert_array_equal(out_neg[mag > 0], neg[mag > 0])
+
+    def test_all_zero(self):
+        mag = np.zeros((8, 8), dtype=np.int64)
+        out_mag, _, bits = roundtrip(mag, np.zeros((8, 8), dtype=bool))
+        np.testing.assert_array_equal(out_mag, mag)
+        assert bits == 0
+
+    def test_single_hot_coefficient(self):
+        mag = np.zeros((16, 16), dtype=np.int64)
+        mag[5, 11] = 300
+        neg = np.zeros((16, 16), dtype=bool)
+        neg[5, 11] = True
+        out_mag, out_neg, bits = roundtrip(mag, neg)
+        np.testing.assert_array_equal(out_mag, mag)
+        assert out_neg[5, 11]
+        # zerotree pruning: sparse input costs few bits
+        assert bits < 400
+
+    def test_sparse_cheaper_than_dense(self, rng):
+        shape = (32, 32)
+        dense = rng.integers(1, 256, shape).astype(np.int64)
+        sparse = np.zeros(shape, dtype=np.int64)
+        idx = rng.integers(0, 32, (20, 2))
+        sparse[idx[:, 0], idx[:, 1]] = rng.integers(1, 256, 20)
+        neg = np.zeros(shape, dtype=bool)
+        _, _, bits_dense = roundtrip(dense, neg)
+        _, _, bits_sparse = roundtrip(sparse, neg)
+        assert bits_sparse < 0.25 * bits_dense
+
+
+class TestEmbeddedProperty:
+    def test_bits_grow_with_planes(self, rng):
+        """Larger magnitudes (more planes) -> strictly more bits."""
+        base = rng.integers(0, 16, (16, 16)).astype(np.int64)
+        neg = np.zeros((16, 16), dtype=bool)
+        _, _, bits_small = roundtrip(base, neg)
+        _, _, bits_big = roundtrip(base * 16, neg)
+        assert bits_big > bits_small

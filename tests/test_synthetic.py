@@ -1,0 +1,71 @@
+"""Spectral synthesis primitives."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import (
+    current_sheet_field,
+    front_field,
+    gaussian_random_field,
+    lognormal_field,
+    vortex_field,
+)
+
+
+class TestGRF:
+    def test_normalized(self):
+        g = gaussian_random_field((32, 32), slope=-3.0, seed=1)
+        assert g.std() == pytest.approx(1.0, rel=1e-6)
+
+    def test_deterministic(self):
+        a = gaussian_random_field((16, 16), seed=5)
+        b = gaussian_random_field((16, 16), seed=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_steeper_slope_smoother(self):
+        smooth = gaussian_random_field((64, 64), slope=-4.0, seed=2)
+        rough = gaussian_random_field((64, 64), slope=-1.0, seed=2)
+        def roughness(x):
+            return np.abs(np.diff(x, axis=0)).mean() / x.std()
+        assert roughness(smooth) < 0.5 * roughness(rough)
+
+    def test_phase_shift_evolves(self):
+        a = gaussian_random_field((32, 32), seed=3, phase_shift=0.0)
+        b = gaussian_random_field((32, 32), seed=3, phase_shift=0.02)
+        assert not np.array_equal(a, b)
+        corr = np.corrcoef(a.ravel(), b.ravel())[0, 1]
+        assert corr > 0.2
+
+    def test_anisotropy_changes_directional_roughness(self):
+        iso = gaussian_random_field((64, 64), slope=-3.0, seed=4)
+        aniso = gaussian_random_field((64, 64), slope=-3.0, seed=4, anisotropy=(1.0, 4.0))
+        def dir_rough(x, axis):
+            return np.abs(np.diff(x, axis=axis)).mean()
+        ratio_iso = dir_rough(iso, 0) / dir_rough(iso, 1)
+        ratio_aniso = dir_rough(aniso, 0) / dir_rough(aniso, 1)
+        assert ratio_aniso > ratio_iso
+
+    @pytest.mark.parametrize("shape", [(64,), (16, 16), (8, 12, 10)])
+    def test_shapes(self, shape):
+        assert gaussian_random_field(shape, seed=0).shape == shape
+
+
+class TestDerivedFields:
+    def test_lognormal_positive(self):
+        f = lognormal_field((16, 16, 16), seed=6)
+        assert (f > 0).all()
+
+    def test_vortex_peak_near_ring(self):
+        v = vortex_field((64, 64), center=(0.5, 0.5), radius=0.2)
+        assert v.max() > 0
+        peak = np.unravel_index(np.argmax(v), v.shape)
+        r = np.hypot(peak[0] / 64 - 0.5, peak[1] / 64 - 0.5)
+        assert 0.1 < r < 0.3
+
+    def test_front_bounded(self):
+        f = front_field((24, 24), seed=7)
+        assert np.abs(f).max() <= 1.0 + 1e-9
+
+    def test_current_sheet_positive_peaks(self):
+        f = current_sheet_field((24, 24), seed=8)
+        assert f.max() > 0.8  # sheets reach the sech^2 peak

@@ -1,0 +1,70 @@
+"""SZx-specific behaviour: constant blocks, bit-width grouping."""
+
+import numpy as np
+import pytest
+
+from repro.compressors.szx import SZXCompressor
+
+
+class TestConstantBlocks:
+    def test_piecewise_constant_collapses(self):
+        x = np.repeat(np.array([1.0, 5.0, -2.0, 8.0]), 128)
+        codec = SZXCompressor()
+        out, res = codec.roundtrip(x, 1e-9)
+        np.testing.assert_allclose(out, x, atol=1e-9)
+        # 4 constant blocks -> a handful of floats instead of 512 values.
+        assert res.compressed_bytes < 100
+
+    def test_near_constant_within_eb(self):
+        x = 3.0 + 1e-4 * np.sin(np.arange(256))
+        codec = SZXCompressor()
+        out, res = codec.roundtrip(x, 1e-3)
+        assert np.abs(out - x).max() <= 1e-3
+        assert res.compressed_bytes < 80
+
+    def test_mixed_constant_and_varying(self, rng):
+        x = np.concatenate([np.zeros(128), np.cumsum(rng.standard_normal(128))])
+        codec = SZXCompressor()
+        out, _ = codec.roundtrip(x, 1e-4)
+        assert np.abs(out - x).max() <= 1e-4
+
+
+class TestBitWidths:
+    def test_width_shrinks_with_eb(self, rough1d):
+        codec = SZXCompressor()
+        sizes = [
+            codec.compress(rough1d, eb).compressed_bytes
+            for eb in (1e-6, 1e-3, 1e-1)
+        ]
+        assert sizes[0] > sizes[1] > sizes[2]
+
+    def test_eb_sensitivity_stepwise(self, rough1d):
+        """SZx's ratio jumps when the per-block width crosses a power of 2."""
+        codec = SZXCompressor()
+        ebs = np.geomspace(1e-4, 1e-1, 40)
+        ratios = np.array([codec.compression_ratio(rough1d, eb) for eb in ebs])
+        rel_steps = np.diff(ratios) / ratios[:-1]
+        assert rel_steps.max() > 0.02  # visible jumps, not a smooth curve
+
+
+class TestBlockSize:
+    def test_custom_block_size(self, rng):
+        x = np.cumsum(rng.standard_normal(1000))
+        codec = SZXCompressor(block_size=64)
+        out, _ = codec.roundtrip(x, 1e-3)
+        assert np.abs(out - x).max() <= 1e-3
+
+    def test_non_multiple_length(self, rng):
+        x = np.cumsum(rng.standard_normal(333))
+        out, _ = SZXCompressor().roundtrip(x, 1e-3)
+        assert out.shape == x.shape
+        assert np.abs(out - x).max() <= 1e-3
+
+    def test_tiny_input(self):
+        x = np.array([1.0, 2.0, 3.0])
+        out, _ = SZXCompressor().roundtrip(x, 1e-6)
+        np.testing.assert_allclose(out, x, atol=1e-6)
+
+    def test_invalid_block_size(self):
+        with pytest.raises(ValueError):
+            SZXCompressor(block_size=1)

@@ -1,0 +1,111 @@
+"""Decision-tree regressor unit tests."""
+
+import numpy as np
+import pytest
+
+from repro.ml.tree import DecisionTreeRegressor
+
+
+class TestFit:
+    def test_perfect_split_on_step_function(self):
+        X = np.linspace(0, 1, 100)[:, None]
+        y = (X[:, 0] > 0.5).astype(float)
+        tree = DecisionTreeRegressor(max_depth=1).fit(X, y)
+        pred = tree.predict(X)
+        np.testing.assert_allclose(pred, y)
+        assert tree.node_count == 3
+        assert 0.4 < tree.threshold[0] < 0.6
+
+    def test_single_sample(self):
+        tree = DecisionTreeRegressor().fit(np.array([[1.0]]), np.array([5.0]))
+        assert tree.predict(np.array([[42.0]]))[0] == 5.0
+
+    def test_constant_target_single_leaf(self, rng):
+        X = rng.random((50, 3))
+        y = np.full(50, 2.5)
+        tree = DecisionTreeRegressor().fit(X, y)
+        assert tree.node_count == 1
+        np.testing.assert_allclose(tree.predict(X), 2.5)
+
+    def test_max_depth_respected(self, rng):
+        X = rng.random((200, 4))
+        y = rng.random(200)
+        tree = DecisionTreeRegressor(max_depth=3).fit(X, y)
+        assert tree.depth <= 3
+
+    def test_min_samples_leaf(self, rng):
+        X = rng.random((100, 2))
+        y = rng.random(100)
+        tree = DecisionTreeRegressor(min_samples_leaf=10).fit(X, y)
+        leaves = tree.feature == -1
+        assert tree.n_samples[leaves].min() >= 10
+
+    def test_min_samples_split(self, rng):
+        X = rng.random((60, 2))
+        y = rng.random(60)
+        tree = DecisionTreeRegressor(min_samples_split=30).fit(X, y)
+        internal = tree.feature != -1
+        assert tree.n_samples[internal].min() >= 30
+
+    def test_duplicate_feature_values_no_split(self):
+        X = np.ones((20, 2))
+        y = np.arange(20.0)
+        tree = DecisionTreeRegressor().fit(X, y)
+        assert tree.node_count == 1  # no valid split exists
+
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(RuntimeError):
+            DecisionTreeRegressor().predict(np.ones((1, 2)))
+
+    def test_bad_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor().fit(np.ones((3, 2)), np.ones(4))
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor().fit(np.zeros((0, 2)), np.zeros(0))
+
+
+class TestPredictionQuality:
+    def test_deep_tree_memorizes(self, rng):
+        X = rng.random((150, 3))
+        y = rng.random(150)
+        tree = DecisionTreeRegressor().fit(X, y)
+        # distinct rows -> perfect memorization
+        np.testing.assert_allclose(tree.predict(X), y, atol=1e-12)
+
+    def test_generalizes_smooth_function(self, rng):
+        X = rng.random((800, 2))
+        y = np.sin(4 * X[:, 0]) + X[:, 1]
+        tree = DecisionTreeRegressor(max_depth=10, min_samples_leaf=3).fit(X, y)
+        Xt = rng.random((200, 2))
+        yt = np.sin(4 * Xt[:, 0]) + Xt[:, 1]
+        rmse = np.sqrt(((tree.predict(Xt) - yt) ** 2).mean())
+        assert rmse < 0.2
+
+    def test_max_features_subsampling(self, rng):
+        X = rng.random((120, 6))
+        y = X[:, 0] * 3
+        full = DecisionTreeRegressor(random_state=0).fit(X, y)
+        sub = DecisionTreeRegressor(max_features="sqrt", random_state=0).fit(X, y)
+        # both valid trees; subsampled one may split on other features first
+        assert full.node_count >= 3 and sub.node_count >= 3
+
+    def test_1d_input_predict(self, rng):
+        X = rng.random((30, 2))
+        y = X[:, 0]
+        tree = DecisionTreeRegressor(max_depth=4).fit(X, y)
+        single = tree.predict(X[0])
+        assert single.shape == (1,)
+
+
+class TestExport:
+    def test_export_text_structure(self, rng):
+        X = rng.random((50, 5))
+        y = X[:, 2] * 2 + X[:, 0]
+        tree = DecisionTreeRegressor(max_depth=3).fit(X, y)
+        names = ["mean", "range", "mnd", "mld", "msd"]
+        text = tree.export_text(feature_names=names)
+        assert "samples=" in text and "mse=" in text and "value=" in text
+        assert any(n in text for n in names)
+
+    def test_export_unfitted(self):
+        assert "unfitted" in DecisionTreeRegressor().export_text()

@@ -1,0 +1,100 @@
+"""Utility-layer tests: timing, validation."""
+
+import numpy as np
+import pytest
+
+from repro.utils.timing import Timer, TimingRecord, timed
+from repro.utils.validation import (
+    as_float_array,
+    check_error_bound,
+    check_positive_int,
+    check_probability,
+    require_finite,
+)
+
+
+class TestTiming:
+    def test_timer_measures(self):
+        with Timer() as t:
+            sum(range(1000))
+        assert t.elapsed >= 0
+
+    def test_timer_reports_to_record(self):
+        rec = TimingRecord()
+        with Timer(record=rec, name="stage"):
+            pass
+        with Timer(record=rec, name="stage"):
+            pass
+        assert rec.counts["stage"] == 2
+        assert rec.total("stage") >= 0
+        assert rec.mean("stage") == pytest.approx(rec.total("stage") / 2)
+
+    def test_record_merge(self):
+        a, b = TimingRecord(), TimingRecord()
+        a.add("x", 1.0)
+        b.add("x", 2.0)
+        b.add("y", 3.0)
+        a.merge(b)
+        assert a.total("x") == pytest.approx(3.0)
+        assert a.total("y") == pytest.approx(3.0)
+        assert "y" in a and "z" not in a
+
+    def test_timed_decorator(self):
+        @timed
+        def f(x):
+            return x * 2
+
+        assert f(21) == 42
+        assert f.last_elapsed >= 0
+
+    def test_record_as_dict(self):
+        rec = TimingRecord()
+        rec.add("a", 1.5)
+        assert rec.as_dict() == {"a": 1.5}
+
+
+class TestValidation:
+    def test_float32_kept(self):
+        x = np.ones(4, dtype=np.float32)
+        assert as_float_array(x).dtype == np.float32
+
+    def test_int_promoted(self):
+        assert as_float_array(np.ones(4, dtype=np.int32)).dtype == np.float64
+
+    def test_float16_promoted(self):
+        assert as_float_array(np.ones(4, dtype=np.float16)).dtype == np.float64
+
+    def test_object_rejected(self):
+        with pytest.raises(TypeError):
+            as_float_array(np.array(["a", "b"]))
+
+    def test_empty_rejected_unless_allowed(self):
+        with pytest.raises(ValueError):
+            as_float_array(np.zeros(0))
+        assert as_float_array(np.zeros(0), allow_empty=True).size == 0
+
+    def test_contiguity_enforced(self):
+        x = np.ones((4, 4))[:, ::2]
+        assert as_float_array(x).flags["C_CONTIGUOUS"]
+
+    def test_require_finite(self):
+        require_finite(np.ones(3))
+        with pytest.raises(ValueError):
+            require_finite(np.array([1.0, np.inf]))
+
+    @pytest.mark.parametrize("bad", [0, -1, np.nan, np.inf])
+    def test_check_error_bound(self, bad):
+        with pytest.raises(ValueError):
+            check_error_bound(bad)
+
+    def test_check_positive_int(self):
+        assert check_positive_int(5, name="n") == 5
+        with pytest.raises(ValueError):
+            check_positive_int(0, name="n")
+        with pytest.raises(ValueError):
+            check_positive_int(2.5, name="n")
+
+    def test_check_probability(self):
+        assert check_probability(0.5, name="p") == 0.5
+        with pytest.raises(ValueError):
+            check_probability(1.5, name="p")

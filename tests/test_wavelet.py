@@ -1,0 +1,79 @@
+"""Unit tests for the CDF 9/7 lifting wavelet."""
+
+import numpy as np
+import pytest
+
+from repro.transforms.wavelet import cdf97_forward, cdf97_inverse, max_levels
+
+
+class TestPerfectReconstruction:
+    @pytest.mark.parametrize(
+        "shape", [(16,), (17,), (31,), (8, 8), (9, 13), (6, 10, 14), (5, 5, 5)]
+    )
+    def test_round_trip_shapes(self, rng, shape):
+        x = rng.standard_normal(shape)
+        levels = max_levels(shape, 2)
+        y = cdf97_inverse(cdf97_forward(x, levels), levels)
+        np.testing.assert_allclose(y, x, atol=1e-9)
+
+    def test_zero_levels_identity(self, rng):
+        x = rng.standard_normal((10, 10))
+        np.testing.assert_array_equal(cdf97_forward(x, 0), x)
+
+    @pytest.mark.parametrize("levels", [1, 2, 3])
+    def test_round_trip_levels(self, rng, levels):
+        x = rng.standard_normal((32, 24))
+        y = cdf97_inverse(cdf97_forward(x, levels), levels)
+        np.testing.assert_allclose(y, x, atol=1e-9)
+
+    def test_negative_levels_rejected(self, rng):
+        with pytest.raises(ValueError):
+            cdf97_forward(rng.standard_normal(8), -1)
+
+
+class TestEnergyCompaction:
+    def test_smooth_signal_concentrates_in_lowpass(self, smooth2d):
+        levels = 2
+        coefs = cdf97_forward(smooth2d, levels)
+        lo = coefs[: smooth2d.shape[0] // 4 + 1, : smooth2d.shape[1] // 4 + 1]
+        total = (coefs**2).sum()
+        assert (lo**2).sum() > 0.95 * total
+
+    def test_constant_signal_highpass_zero(self):
+        x = np.full((16, 16), 7.0)
+        coefs = cdf97_forward(x, 1)
+        high = coefs[8:, :]
+        np.testing.assert_allclose(high, 0.0, atol=1e-9)
+        high2 = coefs[:, 8:]
+        np.testing.assert_allclose(high2, 0.0, atol=1e-9)
+
+    def test_noise_spreads_energy(self, rng):
+        x = rng.standard_normal((32, 32))
+        coefs = cdf97_forward(x, 1)
+        lo = coefs[:16, :16]
+        assert (lo**2).sum() < 0.6 * (coefs**2).sum()
+
+    def test_near_orthonormal_energy(self, rng):
+        """Total energy preserved within the biorthogonal tolerance."""
+        x = rng.standard_normal((64,))
+        coefs = cdf97_forward(x, 3)
+        ratio = (coefs**2).sum() / (x**2).sum()
+        assert 0.5 < ratio < 2.0
+
+
+class TestMaxLevels:
+    def test_large_cube(self):
+        assert max_levels((64, 64, 64), min_extent=8) == 3
+
+    def test_small_array_one_level(self):
+        assert max_levels((4,), min_extent=8) == 1
+
+    def test_mixed_with_singleton_axis(self):
+        # Singleton axes must not block decomposition of the others.
+        assert max_levels((1, 64), min_extent=8) >= 2
+
+    def test_does_not_modify_input(self, rng):
+        x = rng.standard_normal((16, 16))
+        x0 = x.copy()
+        cdf97_forward(x, 2)
+        np.testing.assert_array_equal(x, x0)
