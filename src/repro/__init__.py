@@ -15,14 +15,21 @@ Quickstart::
 
 Main entry points:
 
+- :mod:`repro.api` — the recommended stable facade (:class:`Carol`,
+  :class:`Fxrz`, :class:`FrameworkOptions`, :func:`load`, :func:`save`),
+  re-exported here so ``from repro import Carol`` works;
 - :class:`CarolFramework` / :class:`FxrzFramework` — the ratio-controlled
   frameworks (paper contribution / baseline);
 - :func:`get_compressor` — the four error-bounded compressors
   (szx / zfp / sz3 / sperr);
 - :func:`get_surrogate` — the SECRE ratio estimators;
-- :func:`load_dataset` / :func:`load_field` — synthetic SDRBench-like data.
+- :func:`load_dataset` / :func:`load_field` — synthetic SDRBench-like data;
+- :mod:`repro.obs` — tracing spans + metrics for the whole pipeline
+  (``python -m repro train ... --trace out.json``).
 """
 
+from repro import obs
+from repro.api import Carol, FrameworkOptions, Fxrz, load, save
 from repro.compressors import (
     CompressionResult,
     LossyCompressor,
@@ -52,6 +59,12 @@ from repro.surrogate import available_surrogates, get_surrogate
 __version__ = "1.0.0"
 
 __all__ = [
+    "Carol",
+    "Fxrz",
+    "FrameworkOptions",
+    "load",
+    "save",
+    "obs",
     "CarolFramework",
     "FxrzFramework",
     "Calibrator",

@@ -1,0 +1,113 @@
+"""repro.api — the stable, minimal public surface.
+
+The recommended entry point for applications::
+
+    from repro.api import Carol, FrameworkOptions, load, save
+
+    carol = Carol(compressor="sz3")            # or Fxrz(...)
+    carol.fit(fields)
+    save("model.npz", carol)
+    carol = load("model.npz")
+
+Everything here is a thin, renamed view over the library internals —
+:class:`Carol` *is* :class:`repro.core.carol.CarolFramework` — so code
+written against either surface interoperates freely; the deep import
+paths remain supported.
+
+:class:`FrameworkOptions` is the hashable, frozen counterpart to the
+frameworks' keyword arguments: share one options value across services,
+use it as a cache key, and :meth:`~FrameworkOptions.build` frameworks
+from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields as dc_fields
+
+import numpy as np
+
+from repro.core.carol import CarolFramework
+from repro.core.framework import (
+    EvaluationReport,
+    Prediction,
+    RatioControlledFramework,
+    SetupReport,
+)
+from repro.core.fxrz import FxrzFramework
+from repro.utils.serialization import load_framework, save_framework
+
+#: Facade aliases — ``Carol`` is ``CarolFramework``, nothing in between.
+Carol = CarolFramework
+Fxrz = FxrzFramework
+
+_KINDS = {"carol": CarolFramework, "fxrz": FxrzFramework}
+
+
+@dataclass(frozen=True)
+class FrameworkOptions:
+    """Frozen, hashable construction options for either framework.
+
+    ``rel_error_bounds`` is a tuple (kept hashable); it is converted to
+    the array the frameworks expect at :meth:`build` time. ``None``
+    selects the library's default grid.
+    """
+
+    compressor: str = "sz3"
+    rel_error_bounds: tuple[float, ...] | None = None
+    n_iter: int = 8
+    cv: int = 3
+    seed: int = 0
+    calibration_points: int = 4
+    model_kind: str = "forest"
+
+    def __post_init__(self) -> None:
+        if self.rel_error_bounds is not None:
+            object.__setattr__(
+                self,
+                "rel_error_bounds",
+                tuple(float(e) for e in self.rel_error_bounds),
+            )
+
+    def to_kwargs(self) -> dict:
+        """Keyword arguments accepted by the framework constructors."""
+        kwargs = {f.name: getattr(self, f.name) for f in dc_fields(self)}
+        if kwargs["rel_error_bounds"] is not None:
+            kwargs["rel_error_bounds"] = np.asarray(
+                kwargs["rel_error_bounds"], dtype=np.float64
+            )
+        return kwargs
+
+    def build(self, framework: str = "carol") -> RatioControlledFramework:
+        """Instantiate an (unfitted) ``"carol"`` or ``"fxrz"`` framework."""
+        try:
+            cls = _KINDS[framework]
+        except KeyError:
+            raise ValueError(
+                f"framework must be one of {sorted(_KINDS)}, got {framework!r}"
+            ) from None
+        kwargs = self.to_kwargs()
+        compressor = kwargs.pop("compressor")
+        return cls(compressor, **kwargs)
+
+
+def load(path) -> RatioControlledFramework:
+    """Load a framework saved with :func:`save` (``.npz``, pickle-free)."""
+    return load_framework(path)
+
+
+def save(path, framework: RatioControlledFramework):
+    """Persist a fitted framework's inference state; returns the path."""
+    return save_framework(path, framework)
+
+
+__all__ = [
+    "Carol",
+    "Fxrz",
+    "FrameworkOptions",
+    "load",
+    "save",
+    "RatioControlledFramework",
+    "SetupReport",
+    "Prediction",
+    "EvaluationReport",
+]

@@ -326,7 +326,7 @@ def ablation_inverse(scale: BenchScale) -> str:
                 name,
                 float(rep.alpha),
                 float(estimation_error(targets, achieved)),
-                float(rep.predictions[0].feature_seconds + sum(p.inference_seconds for p in rep.predictions)),
+                float(rep.inference_seconds),
                 float(t_inv),
             ]
         )

@@ -9,7 +9,12 @@ Commands mirror the library's workflow:
 - ``predict``   — predict the error bound for a target ratio with a saved
   model;
 - ``compress``  — end-to-end: predict, compress, report achieved ratio;
-- ``bench``     — run one named paper experiment and print its table.
+- ``bench``     — run one named paper experiment and print its table;
+- ``trace-summary`` — aggregate a ``--trace`` JSON into a per-stage table.
+
+``train``, ``compress``, and ``bench`` accept ``--trace out.json``:
+observability (:mod:`repro.obs`) is enabled for the run and the span
+tree plus metrics are written to the given path on exit.
 """
 
 from __future__ import annotations
@@ -19,12 +24,18 @@ import sys
 
 import numpy as np
 
+from repro import obs
 from repro.compressors.registry import available_compressors
 from repro.core.carol import CarolFramework
 from repro.core.collection import TrainingCollector
 from repro.core.fxrz import FxrzFramework
 from repro.data.datasets import DATASET_NAMES, load_dataset, load_field
 from repro.utils.serialization import load_framework, save_framework
+
+
+def _add_trace_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--trace", default=None, metavar="OUT.json",
+                   help="record an observability trace and write it here")
 
 
 def _add_common_field_args(p: argparse.ArgumentParser) -> None:
@@ -126,6 +137,16 @@ def cmd_compress(args) -> int:
     return 0
 
 
+def cmd_trace_summary(args) -> int:
+    try:
+        payload = obs.load_trace(args.trace_file)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"cannot read trace {args.trace_file!r}: {exc}", file=sys.stderr)
+        return 2
+    print(obs.format_summary(payload["spans"], payload.get("metrics")))
+    return 0
+
+
 def cmd_bench(args) -> int:
     from repro.bench import experiments, experiments_model
     from repro.bench.harness import get_scale
@@ -175,6 +196,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--iters", type=int, default=6)
     p.add_argument("--cv", type=int, default=3)
     p.add_argument("--out", required=True, help="output .npz model path")
+    _add_trace_arg(p)
     p.set_defaults(func=cmd_train)
 
     p = sub.add_parser("predict", help="predict an error bound for a target ratio")
@@ -188,18 +210,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--ratio", type=float, required=True)
     p.add_argument("--out", default=None, help="write the payload here")
     _add_common_field_args(p)
+    _add_trace_arg(p)
     p.set_defaults(func=cmd_compress)
 
     p = sub.add_parser("bench", help="run one paper experiment")
     p.add_argument("experiment", help="e.g. fig2_surrogate_curves, tab5_calibration")
+    _add_trace_arg(p)
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser("trace-summary",
+                       help="print a per-stage table from a --trace JSON")
+    p.add_argument("trace_file", help="path written by --trace")
+    p.set_defaults(func=cmd_trace_summary)
 
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    trace_path = getattr(args, "trace", None)
+    if not trace_path:
+        return args.func(args)
+    recorder = obs.enable()
+    try:
+        return args.func(args)
+    finally:
+        obs.disable()
+        out = obs.export_trace(trace_path, recorder)
+        print(f"trace written to {out}")
 
 
 if __name__ == "__main__":

@@ -8,6 +8,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs import count, enabled, observe, span
 from repro.utils.validation import as_float_array, check_error_bound, require_finite
 
 
@@ -71,9 +72,16 @@ class LossyCompressor(abc.ABC):
         arr = as_float_array(data)
         require_finite(arr)
         eb = check_error_bound(error_bound)
-        start = time.perf_counter()
-        payload, metadata = self._compress(arr.astype(np.float64, copy=False), eb)
-        elapsed = time.perf_counter() - start
+        with span("compressor.compress", codec=self.name, error_bound=eb) as sp:
+            start = time.perf_counter()
+            payload, metadata = self._compress(arr.astype(np.float64, copy=False), eb)
+            elapsed = time.perf_counter() - start
+            sp.set(bytes_in=arr.nbytes, bytes_out=len(payload))
+        if enabled():
+            count("compressor.compress.calls")
+            count("compressor.compress.bytes_in", arr.nbytes)
+            count("compressor.compress.bytes_out", len(payload))
+            observe("compressor.compress.seconds", elapsed)
         metadata = dict(metadata)
         metadata.setdefault("shape", arr.shape)
         metadata.setdefault("error_bound", eb)
@@ -93,7 +101,12 @@ class LossyCompressor(abc.ABC):
             raise ValueError(
                 f"{self.name} cannot decode a {result.compressor!r} stream"
             )
-        out = self._decompress(result.payload, result.metadata)
+        with span("compressor.decompress", codec=self.name,
+                  bytes_in=result.compressed_bytes):
+            out = self._decompress(result.payload, result.metadata)
+        if enabled():
+            count("compressor.decompress.calls")
+            count("compressor.decompress.bytes_in", result.compressed_bytes)
         return out.astype(result.metadata.get("dtype", "float64"), copy=False)
 
     def compression_ratio(self, data: np.ndarray, error_bound: float) -> float:

@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.compressors.base import LossyCompressor
 from repro.core.metrics import signed_estimation_errors
+from repro.obs import count, span
 
 
 def correct_overestimation(f_secre: np.ndarray, alpha: np.ndarray) -> np.ndarray:
@@ -92,11 +93,14 @@ class Calibrator:
 
         # Step 1: run the full compressor at the calibration points.
         pts = self._select_points(ebs.size, self.n_points)
-        t0 = time.perf_counter()
-        true_pts = np.array(
-            [compressor.compression_ratio(data, float(ebs[i])) for i in pts]
-        )
-        comp_seconds = time.perf_counter() - t0
+        with span("collection.calibration", compressor=compressor.name,
+                  n_points=int(pts.size)):
+            t0 = time.perf_counter()
+            true_pts = np.array(
+                [compressor.compression_ratio(data, float(ebs[i])) for i in pts]
+            )
+            comp_seconds = time.perf_counter() - t0
+        count("calibration.corrections")
 
         # Step 2: signed errors and over/under determination.
         signed = signed_estimation_errors(true_pts, est[pts])

@@ -6,18 +6,17 @@ The four core contributions map onto the three pipeline stages:
 2. plus the calibration pass (a few full-compressor points) to remove the
    surrogate's systematic error;
 3. training is Bayesian optimization whose observation list checkpoints,
-   enabling warm-started incremental refinement (:meth:`refine`);
+   so the base class's :meth:`~RatioControlledFramework.refine` is
+   warm-started, enabling incremental refinement on new data;
 4. inference extracts features with the block-parallel (GPU-kernel-style)
    extractor.
 """
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
-from repro.core.framework import RatioControlledFramework, SetupReport
+from repro.core.framework import RatioControlledFramework
 from repro.features.parallel import extract_features_parallel
 
 
@@ -30,43 +29,3 @@ class CarolFramework(RatioControlledFramework):
 
     def _extract_features(self, data: np.ndarray) -> tuple[np.ndarray, float]:
         return extract_features_parallel(data)
-
-    def refine(self, new_fields) -> SetupReport:
-        """Incrementally refine the model with newly arrived fields.
-
-        Collects curves for the new fields only, merges them into the
-        training set, and re-trains with the Bayesian optimizer warm-started
-        from the previous search's observations — the "checkpointing of the
-        training process" of Section 5.3. FXRZ has no equivalent: its grid
-        search must restart from scratch.
-        """
-        if self.training_data is None:
-            return self.fit(new_fields)
-        checkpoint = self.model.checkpoint
-        collector = self._make_collector()
-        t0 = time.perf_counter()
-        fresh = collector.collect(list(new_fields))
-        collect_s = time.perf_counter() - t0
-        self.training_data = self.training_data.merge(fresh)
-
-        t1 = time.perf_counter()
-        self.model.fit(
-            self.training_data,
-            method=self.training_method,
-            space=self.space,
-            n_iter=self.n_iter,
-            cv=self.cv,
-            seed=self.seed,
-            checkpoint=checkpoint,
-            model_kind=self.model_kind,
-        )
-        train_s = time.perf_counter() - t1
-        self.setup_report = SetupReport(
-            framework=self.name,
-            compressor=self.compressor_name,
-            collection_seconds=collect_s,
-            training_seconds=train_s,
-            n_rows=self.training_data.n_rows,
-            training_info=self.model.info,
-        )
-        return self.setup_report

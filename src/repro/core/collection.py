@@ -25,6 +25,7 @@ from repro.core.calibration import CalibrationInfo, Calibrator
 from repro.data.fields import Field
 from repro.features.definitions import FEATURE_NAMES
 from repro.features.serial import extract_features_serial
+from repro.obs import count, span
 from repro.surrogate.registry import get_surrogate
 from repro.utils.timing import TimingRecord
 
@@ -118,21 +119,30 @@ class TrainingCollector:
 
     def collect_field(self, field: Field) -> CurveRecord:
         ebs = self.rel_ebs * max(field.value_range, 1e-30)
-        feats, feat_s = extract_features_serial(field.data, stride=self.feature_stride)
-        t0 = time.perf_counter()
-        calibration: CalibrationInfo | None = None
-        if self.mode == "full":
-            ratios = np.array(
-                [self._codec.compression_ratio(field.data, float(eb)) for eb in ebs]
-            )
-        else:
-            ratios, _ = self._surrogate.estimate_curve(field.data, ebs)
-            if self.mode == "calibrated":
-                calibrator = Calibrator(n_points=self.calibration_points)
-                ratios, calibration = calibrator.calibrate_curve(
-                    field.data, ebs, ratios, self._codec
+        with span(
+            "collection.field",
+            field=field.path,
+            mode=self.mode,
+            compressor=self.compressor_name,
+            n_points=int(ebs.size),
+        ):
+            feats, feat_s = extract_features_serial(field.data, stride=self.feature_stride)
+            t0 = time.perf_counter()
+            calibration: CalibrationInfo | None = None
+            if self.mode == "full":
+                ratios = np.array(
+                    [self._codec.compression_ratio(field.data, float(eb)) for eb in ebs]
                 )
-        collect_s = time.perf_counter() - t0
+            else:
+                ratios, _ = self._surrogate.estimate_curve(field.data, ebs)
+                if self.mode == "calibrated":
+                    calibrator = Calibrator(n_points=self.calibration_points)
+                    ratios, calibration = calibrator.calibrate_curve(
+                        field.data, ebs, ratios, self._codec
+                    )
+            collect_s = time.perf_counter() - t0
+        count("collection.fields")
+        count("collection.curve_points", int(ebs.size))
         return CurveRecord(
             field_path=field.path,
             features=feats,

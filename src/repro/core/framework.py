@@ -10,11 +10,14 @@ collection     full compressor         SECRE surrogate + calibration
 training       randomized grid search  Bayesian opt. (checkpointable)
 inference      serial sampled feats    block-parallel feats
 =============  ======================  ===============================
+
+Stage timings come from :mod:`repro.obs` spans: the same measurement
+that lands in a ``--trace`` JSON also populates :class:`SetupReport` and
+:class:`Prediction`, so traces and reports agree by construction.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field as dc_field
 
 import numpy as np
@@ -26,6 +29,7 @@ from repro.core.metrics import estimation_error
 from repro.core.prediction import ErrorBoundModel
 from repro.core.training import TrainingInfo
 from repro.ml.space import SearchSpace
+from repro.obs import timed_span
 from repro.utils.validation import as_float_array
 
 
@@ -58,17 +62,32 @@ class Prediction:
 
 @dataclass
 class EvaluationReport:
-    """Requested-vs-achieved ratios on one test input (Tables 3, Fig. 7)."""
+    """Requested-vs-achieved ratios on one test input (Tables 3, Fig. 7).
+
+    Features are extracted once for every target, so their cost lives
+    here (``feature_seconds``) rather than being faked onto the first
+    :class:`Prediction`.
+    """
 
     targets: np.ndarray
     achieved: np.ndarray
     predicted_ebs: np.ndarray
     alpha: float
     predictions: list[Prediction] = dc_field(default_factory=list)
+    feature_seconds: float = 0.0
+
+    @property
+    def inference_seconds(self) -> float:
+        """Total model time across targets plus the shared feature pass."""
+        return self.feature_seconds + sum(p.inference_seconds for p in self.predictions)
 
 
 class RatioControlledFramework:
-    """Base class; subclasses set the three stage implementations."""
+    """Base class; subclasses set the three stage implementations.
+
+    All configuration past ``compressor`` is keyword-only — the stable
+    construction surface exposed by :mod:`repro.api`.
+    """
 
     name = "abstract"
     collection_mode = "full"
@@ -77,6 +96,7 @@ class RatioControlledFramework:
     def __init__(
         self,
         compressor: str = "sz3",
+        *,
         rel_error_bounds: np.ndarray | None = None,
         space: SearchSpace | None = None,
         n_iter: int = 8,
@@ -115,28 +135,60 @@ class RatioControlledFramework:
 
     def fit(self, fields, checkpoint: list | None = None) -> SetupReport:
         """Collect training data and train the error-bound model."""
-        t0 = time.perf_counter()
-        collector = self._make_collector()
-        self.training_data = collector.collect(list(fields))
-        collect_s = time.perf_counter() - t0
+        return self._run_setup(list(fields), checkpoint=checkpoint, merge=False)
 
-        t1 = time.perf_counter()
-        self.model.fit(
-            self.training_data,
-            method=self.training_method,
-            space=self.space,
-            n_iter=self.n_iter,
-            cv=self.cv,
-            seed=self.seed,
-            checkpoint=checkpoint,
-            model_kind=self.model_kind,
+    def refine(self, new_fields) -> SetupReport:
+        """Incrementally refine the model with newly arrived fields.
+
+        Collects curves for the new fields only, merges them into the
+        training set, and re-trains. Trainers that checkpoint (CAROL's
+        Bayesian optimizer) warm-start from the previous search's
+        observations — the "checkpointing of the training process" of
+        Section 5.3; non-resumable trainers (FXRZ's grid search) simply
+        re-search on the merged data. Falls back to :meth:`fit` when
+        nothing has been collected yet.
+        """
+        if self.training_data is None:
+            return self.fit(new_fields)
+        return self._run_setup(
+            list(new_fields), checkpoint=self.model.checkpoint, merge=True
         )
-        train_s = time.perf_counter() - t1
+
+    def _run_setup(self, fields, checkpoint: list | None, merge: bool) -> SetupReport:
+        with timed_span(
+            "fit.collection",
+            framework=self.name,
+            compressor=self.compressor_name,
+            mode=self.collection_mode,
+            n_fields=len(fields),
+        ) as sp_collect:
+            collector = self._make_collector()
+            fresh = collector.collect(fields)
+        self.training_data = self.training_data.merge(fresh) if merge else fresh
+
+        with timed_span(
+            "fit.training",
+            framework=self.name,
+            method=self.training_method,
+            model_kind=self.model_kind,
+            n_rows=self.training_data.n_rows,
+            warm_start=checkpoint is not None,
+        ) as sp_train:
+            self.model.fit(
+                self.training_data,
+                method=self.training_method,
+                space=self.space,
+                n_iter=self.n_iter,
+                cv=self.cv,
+                seed=self.seed,
+                checkpoint=checkpoint,
+                model_kind=self.model_kind,
+            )
         self.setup_report = SetupReport(
             framework=self.name,
             compressor=self.compressor_name,
-            collection_seconds=collect_s,
-            training_seconds=train_s,
+            collection_seconds=sp_collect.elapsed,
+            training_seconds=sp_train.elapsed,
             n_rows=self.training_data.n_rows,
             training_info=self.model.info,
         )
@@ -154,15 +206,17 @@ class RatioControlledFramework:
         """
         arr = as_float_array(data)
         feats, feat_s = self._extract_features(arr)
-        t0 = time.perf_counter()
-        eb = self.model.predict_error_bound(feats, float(target_ratio), safety=safety)
-        infer_s = time.perf_counter() - t0
+        with timed_span(
+            "inference.predict", framework=self.name, target_ratio=float(target_ratio)
+        ) as sp:
+            eb = self.model.predict_error_bound(feats, float(target_ratio), safety=safety)
+            sp.set(error_bound=eb)
         return Prediction(
             error_bound=eb,
             target_ratio=float(target_ratio),
             features=feats,
             feature_seconds=feat_s,
-            inference_seconds=infer_s,
+            inference_seconds=sp.elapsed,
         )
 
     def compress_to_ratio(
@@ -175,8 +229,16 @@ class RatioControlledFramework:
 
     # -- evaluation ------------------------------------------------------------------
 
-    def evaluate_targets(self, data: np.ndarray, targets) -> EvaluationReport:
-        """Requested-vs-achieved ratios; alpha per the paper's Eq. (1)."""
+    def evaluate_targets(
+        self, data: np.ndarray, targets, safety: float = 0.0
+    ) -> EvaluationReport:
+        """Requested-vs-achieved ratios; alpha per the paper's Eq. (1).
+
+        ``safety`` applies to every per-target prediction, matching
+        :meth:`predict_error_bound` (the two inference entry points share
+        one bias convention). Features are extracted once and charged to
+        the report, not to any single prediction.
+        """
         targets = np.asarray(targets, dtype=np.float64).ravel()
         arr = as_float_array(data)
         feats, feat_s = self._extract_features(arr)
@@ -184,18 +246,19 @@ class RatioControlledFramework:
         ebs = np.empty(targets.size)
         preds: list[Prediction] = []
         for i, t in enumerate(targets):
-            t0 = time.perf_counter()
-            eb = self.model.predict_error_bound(feats, float(t))
-            infer_s = time.perf_counter() - t0
+            with timed_span(
+                "inference.predict", framework=self.name, target_ratio=float(t)
+            ) as sp:
+                eb = self.model.predict_error_bound(feats, float(t), safety=safety)
+                sp.set(error_bound=eb)
             ebs[i] = eb
             achieved[i] = self._codec.compression_ratio(arr, eb)
-            preds.append(
-                Prediction(eb, float(t), feats, feat_s if i == 0 else 0.0, infer_s)
-            )
+            preds.append(Prediction(eb, float(t), feats, 0.0, sp.elapsed))
         return EvaluationReport(
             targets=targets,
             achieved=achieved,
             predicted_ebs=ebs,
             alpha=estimation_error(targets, achieved),
             predictions=preds,
+            feature_seconds=feat_s,
         )

@@ -25,8 +25,10 @@ class FxrzFramework(RatioControlledFramework):
     collection_mode = "full"
     training_method = "grid"
 
-    def __init__(self, *args, feature_stride: int = 4, **kwargs) -> None:
-        super().__init__(*args, **kwargs)
+    def __init__(
+        self, compressor: str = "sz3", *, feature_stride: int = 4, **kwargs
+    ) -> None:
+        super().__init__(compressor, **kwargs)
         self.feature_stride = int(feature_stride)
 
     def _extract_features(self, data: np.ndarray) -> tuple[np.ndarray, float]:

@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.core.collection import CurveRecord, TrainingCollector, TrainingData
 from repro.data.fields import Field
+from repro.obs import span
 
 
 @dataclass
@@ -84,13 +85,18 @@ class ParallelCollector:
             )
             for f in fields
         ]
-        start = time.perf_counter()
-        if self.n_workers == 1 or len(fields) <= 1:
-            records = [_collect_one(t) for t in tasks]
-        else:
-            with ProcessPoolExecutor(max_workers=self.n_workers) as pool:
-                records = list(pool.map(_collect_one, tasks))
-        wall = time.perf_counter() - start
+        # Worker processes have their own (disabled) observability state, so
+        # per-field spans don't propagate back; one parent-side span covers
+        # the whole fan-out instead.
+        with span("collection.parallel", compressor=self.compressor, mode=self.mode,
+                  n_fields=len(fields), n_workers=self.n_workers):
+            start = time.perf_counter()
+            if self.n_workers == 1 or len(fields) <= 1:
+                records = [_collect_one(t) for t in tasks]
+            else:
+                with ProcessPoolExecutor(max_workers=self.n_workers) as pool:
+                    records = list(pool.map(_collect_one, tasks))
+            wall = time.perf_counter() - start
 
         data = TrainingData(compressor=self.compressor)
         for rec in records:

@@ -23,6 +23,7 @@ from repro.ml.bayesopt import BayesianOptimizer, BOResult
 from repro.ml.kfold import KFold, cross_val_score
 from repro.ml.models import default_space, make_model
 from repro.ml.space import SearchSpace
+from repro.obs import span
 
 
 @dataclass
@@ -73,7 +74,9 @@ def train_model(
         search = RandomizedGridSearch(
             space, n_iter=n_iter, cv=cv, random_state=seed, model_kind=model_kind
         )
-        result = search.fit(X, y)
+        with span("training.search", method="grid", model_kind=model_kind,
+                  n_iter=n_iter, cv=cv, n_rows=X.shape[0]):
+            result = search.fit(X, y)
         info = TrainingInfo(
             method="grid",
             best_params=result.best_params,
@@ -95,9 +98,12 @@ def train_model(
         # A warm-started refresh needs fewer fresh evaluations — the paper's
         # "checkpointing of the training process".
         iters = max(n_iter // 2, 3) if checkpoint else n_iter
-        result: BOResult = optimizer.run(
-            _cv_objective(X, y, cv, seed, model_kind), n_iter=iters
-        )
+        with span("training.search", method="bayesopt", model_kind=model_kind,
+                  n_iter=iters, cv=cv, n_rows=X.shape[0],
+                  warm_start=checkpoint is not None):
+            result: BOResult = optimizer.run(
+                _cv_objective(X, y, cv, seed, model_kind), n_iter=iters
+            )
         model = make_model(model_kind, random_state=seed, **result.best_params).fit(X, y)
         info = TrainingInfo(
             method="bayesopt",

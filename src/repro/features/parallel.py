@@ -20,10 +20,10 @@ same locality properties the paper exploits.
 from __future__ import annotations
 
 import itertools
-import time
 
 import numpy as np
 
+from repro.obs import timed_span
 from repro.transforms.spline import spline_predict_axis
 from repro.utils.validation import as_float_array
 
@@ -90,33 +90,34 @@ def extract_features_parallel(
     paper's GPU kernel makes.
     """
     arr = as_float_array(data).astype(np.float64, copy=False)
-    start = time.perf_counter()
-    blocks = _sample_blocks(arr, block_edge, block_stride)
-    d = arr.ndim
-    interior = (slice(None),) + (slice(1, -1),) * d
-    if any(s <= 2 for s in blocks.shape[1:]):
-        interior = (slice(None),) * (d + 1)
+    with timed_span("features.parallel", block_edge=block_edge,
+                    block_stride=block_stride, n_elements=int(arr.size)) as sp:
+        blocks = _sample_blocks(arr, block_edge, block_stride)
+        d = arr.ndim
+        interior = (slice(None),) + (slice(1, -1),) * d
+        if any(s <= 2 for s in blocks.shape[1:]):
+            interior = (slice(None),) * (d + 1)
 
-    mean = float(blocks.mean())
-    vrange = float(blocks.max() - blocks.min())
+        mean = float(blocks.mean())
+        vrange = float(blocks.max() - blocks.min())
 
-    # MND: average of the 2d axis neighbours (interior points have all 2d).
-    neigh = np.zeros_like(blocks)
-    for axis in range(1, d + 1):
-        moved = np.moveaxis(blocks, axis, 1)
-        acc = np.moveaxis(neigh, axis, 1)
-        acc[:, 1:] += moved[:, :-1]
-        acc[:, :-1] += moved[:, 1:]
-    mnd = float(np.abs(blocks - neigh / (2.0 * d))[interior].mean())
+        # MND: average of the 2d axis neighbours (interior points have all 2d).
+        neigh = np.zeros_like(blocks)
+        for axis in range(1, d + 1):
+            moved = np.moveaxis(blocks, axis, 1)
+            acc = np.moveaxis(neigh, axis, 1)
+            acc[:, 1:] += moved[:, :-1]
+            acc[:, :-1] += moved[:, 1:]
+        mnd = float(np.abs(blocks - neigh / (2.0 * d))[interior].mean())
 
-    # MLD: batched Lorenzo prediction.
-    mld = float(np.abs(blocks - _batched_lorenzo(blocks))[interior].mean())
+        # MLD: batched Lorenzo prediction.
+        mld = float(np.abs(blocks - _batched_lorenzo(blocks))[interior].mean())
 
-    # MSD: per-axis spline deviations, batched over the block axis.
-    msd_arr = np.zeros_like(blocks)
-    for axis in range(1, d + 1):
-        msd_arr += np.abs(blocks - spline_predict_axis(blocks, axis))
-    msd = float(msd_arr[interior].mean())
+        # MSD: per-axis spline deviations, batched over the block axis.
+        msd_arr = np.zeros_like(blocks)
+        for axis in range(1, d + 1):
+            msd_arr += np.abs(blocks - spline_predict_axis(blocks, axis))
+        msd = float(msd_arr[interior].mean())
 
-    feats = np.array([mean, vrange, mnd, mld, msd])
-    return feats, time.perf_counter() - start
+        feats = np.array([mean, vrange, mnd, mld, msd])
+    return feats, sp.elapsed

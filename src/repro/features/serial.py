@@ -14,11 +14,10 @@ block-contiguous scheme.
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
 from repro.features.definitions import feature_vector
+from repro.obs import timed_span
 from repro.utils.validation import as_float_array
 
 
@@ -31,11 +30,12 @@ def extract_features_serial(
     stride point-samples each axis first (Serial-Sampled, FXRZ's default 4).
     """
     arr = as_float_array(data)
-    start = time.perf_counter()
-    if stride is not None and stride > 1:
-        slicer = tuple(slice(0, None, stride) for _ in range(arr.ndim))
-        # The strided gather materializes a copy: scattered reads, the cache
-        # behaviour the paper attributes to FXRZ's point-wise sampling.
-        arr = np.array(arr[slicer], dtype=np.float64)
-    feats = feature_vector(arr)
-    return feats, time.perf_counter() - start
+    with timed_span("features.serial", stride=stride or 0,
+                    n_elements=int(arr.size)) as sp:
+        if stride is not None and stride > 1:
+            slicer = tuple(slice(0, None, stride) for _ in range(arr.ndim))
+            # The strided gather materializes a copy: scattered reads, the cache
+            # behaviour the paper attributes to FXRZ's point-wise sampling.
+            arr = np.array(arr[slicer], dtype=np.float64)
+        feats = feature_vector(arr)
+    return feats, sp.elapsed

@@ -24,6 +24,7 @@ from scipy.stats import norm
 
 from repro.ml.gp import GaussianProcess
 from repro.ml.space import SearchSpace
+from repro.obs import count, span
 
 
 @dataclass
@@ -137,9 +138,12 @@ class BayesianOptimizer:
             kind = "initial" if (self._warm == 0 and fresh < self.n_initial) else "bo"
             if self._warm and i == 0:
                 kind = "warm"
-            params = self.suggest()
-            t0 = time.perf_counter()
-            score = float(objective(params))
+            with span("training.iteration", method="bayesopt", i=i, kind=kind) as sp:
+                params = self.suggest()
+                t0 = time.perf_counter()
+                score = float(objective(params))
+                sp.set(params=dict(params), score=score)
+            count("training.bo_iterations")
             history.append(
                 BOIteration(params=params, score=score, seconds=time.perf_counter() - t0, kind=kind)
             )

@@ -17,6 +17,7 @@ import numpy as np
 from repro.ml.models import make_model
 from repro.ml.kfold import KFold, cross_val_score
 from repro.ml.space import SearchSpace
+from repro.obs import count, span
 
 
 @dataclass
@@ -77,13 +78,16 @@ class RandomizedGridSearch:
         start = time.perf_counter()
         records: list[SearchRecord] = []
         kfold = KFold(n_splits=self.cv, random_state=0)
-        for params in self._sample_unique(rng):
-            t0 = time.perf_counter()
-            scores = cross_val_score(
-                lambda p=params: make_model(self.model_kind, random_state=0, **p),
-                X, y, cv=kfold,
-            )
-            fit_s = time.perf_counter() - t0
+        for i, params in enumerate(self._sample_unique(rng)):
+            with span("training.iteration", method="grid", i=i) as sp:
+                t0 = time.perf_counter()
+                scores = cross_val_score(
+                    lambda p=params: make_model(self.model_kind, random_state=0, **p),
+                    X, y, cv=kfold,
+                )
+                fit_s = time.perf_counter() - t0
+                sp.set(params=dict(params), score=float(scores.mean()))
+            count("training.grid_evaluations")
             # Analytical footprint: ~2*n/min_samples_leaf nodes per tree,
             # six 8-byte arrays per node (avoids an extra probe fit).
             nodes_per_tree = max(2 * X.shape[0] // params.get("min_samples_leaf", 1), 3)

@@ -1,0 +1,79 @@
+"""repro.obs — dependency-free observability for the pipeline.
+
+Three pieces (all stdlib-only, importable from anywhere in the repo
+without cycles):
+
+- **spans** (:mod:`repro.obs.trace`) — hierarchical wall-clock tracing
+  with a thread-safe recorder and JSON export/import;
+- **metrics** (:mod:`repro.obs.metrics`) — counters, gauges, histograms
+  in a process-wide registry;
+- **summary** (:mod:`repro.obs.summary`) — per-stage aggregation behind
+  ``python -m repro trace-summary``.
+
+Disabled by default: :func:`span` returns a shared no-op and the metric
+helpers return after one flag check, so the instrumented hot paths cost
+effectively nothing until :func:`enable` (or the CLI ``--trace`` flag)
+turns recording on.
+
+Typical use::
+
+    from repro import obs
+
+    with obs.capture() as rec:
+        framework.fit(fields)
+    obs.export_trace("trace.json", rec)
+
+    from repro.obs import load_trace, format_summary
+    payload = load_trace("trace.json")
+    print(format_summary(payload["spans"], payload["metrics"]))
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    count,
+    observe,
+    registry,
+    set_gauge,
+)
+from repro.obs.summary import StageStats, aggregate, format_summary
+from repro.obs.trace import (
+    Span,
+    TraceRecorder,
+    capture,
+    disable,
+    enable,
+    enabled,
+    export_trace,
+    get_recorder,
+    load_trace,
+    span,
+    timed_span,
+)
+
+__all__ = [
+    "Span",
+    "TraceRecorder",
+    "span",
+    "timed_span",
+    "enable",
+    "disable",
+    "enabled",
+    "capture",
+    "get_recorder",
+    "export_trace",
+    "load_trace",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "registry",
+    "count",
+    "observe",
+    "set_gauge",
+    "StageStats",
+    "aggregate",
+    "format_summary",
+]

@@ -1,0 +1,142 @@
+"""The repro.api facade and the redesigned framework surface."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.api import Carol, FrameworkOptions, Fxrz, load, save
+
+SHAPE = (10, 14, 14)
+REL = np.geomspace(1e-3, 1e-1, 5)
+
+
+@pytest.fixture(scope="module")
+def train_fields():
+    from repro import load_dataset
+
+    return load_dataset("miranda", shape=SHAPE)[:3]
+
+
+@pytest.fixture(scope="module")
+def fitted(train_fields):
+    fw = Carol(compressor="szx", rel_error_bounds=REL, n_iter=3, cv=2)
+    fw.fit(train_fields)
+    return fw
+
+
+class TestFacadeImports:
+    def test_top_level_reexports(self):
+        import repro
+
+        assert repro.Carol is Carol
+        assert repro.Fxrz is Fxrz
+        assert repro.FrameworkOptions is FrameworkOptions
+        assert repro.load is load
+        assert repro.save is save
+
+    def test_facade_is_the_framework(self):
+        from repro.core.carol import CarolFramework
+        from repro.core.fxrz import FxrzFramework
+
+        assert Carol is CarolFramework
+        assert Fxrz is FxrzFramework
+
+    def test_deprecated_paths_still_work(self):
+        # the pre-facade import surface must keep working verbatim
+        from repro import CarolFramework, FxrzFramework
+        from repro.core import CarolFramework as deep_carol
+        from repro.utils.serialization import load_framework, save_framework
+
+        assert CarolFramework is Carol and FxrzFramework is Fxrz
+        assert deep_carol is Carol
+        assert callable(load_framework) and callable(save_framework)
+
+
+class TestKeywordOnly:
+    def test_positional_config_rejected(self):
+        with pytest.raises(TypeError):
+            Carol("sz3", REL)
+        with pytest.raises(TypeError):
+            Fxrz("sz3", 4)
+
+    def test_compressor_may_be_positional(self):
+        assert Carol("szx").compressor_name == "szx"
+        assert Fxrz("szx", feature_stride=2).feature_stride == 2
+
+
+class TestFrameworkOptions:
+    def test_frozen(self):
+        opts = FrameworkOptions()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            opts.compressor = "zfp"
+
+    def test_hashable_and_comparable(self):
+        a = FrameworkOptions(compressor="szx", rel_error_bounds=(1e-3, 1e-2))
+        b = FrameworkOptions(compressor="szx", rel_error_bounds=[1e-3, 1e-2])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_build_carol_and_fxrz(self):
+        opts = FrameworkOptions(compressor="szx", rel_error_bounds=tuple(REL),
+                                n_iter=3, cv=2, seed=7)
+        carol = opts.build("carol")
+        fxrz = opts.build("fxrz")
+        assert type(carol) is Carol and type(fxrz) is Fxrz
+        assert carol.compressor_name == "szx"
+        assert carol.n_iter == 3 and carol.seed == 7
+        np.testing.assert_allclose(carol.rel_error_bounds, REL)
+
+    def test_build_unknown_kind(self):
+        with pytest.raises(ValueError, match="framework"):
+            FrameworkOptions().build("sz_deluxe")
+
+    def test_default_grid_passthrough(self):
+        assert FrameworkOptions().build("carol").rel_error_bounds is None
+
+
+class TestSaveLoad:
+    def test_roundtrip_via_facade(self, fitted, tmp_path, train_fields):
+        path = save(tmp_path / "model.npz", fitted)
+        loaded = load(path)
+        assert type(loaded) is Carol
+        data = train_fields[0].data
+        eb_orig = fitted.predict_error_bound(data, 5.0).error_bound
+        eb_loaded = loaded.predict_error_bound(data, 5.0).error_bound
+        assert eb_loaded == pytest.approx(eb_orig)
+
+
+class TestUnifiedRefine:
+    def test_fxrz_refine_merges_on_base_class(self, train_fields):
+        fw = Fxrz(compressor="szx", rel_error_bounds=REL, n_iter=2, cv=2)
+        fw.fit(train_fields[:2])
+        rows_before = fw.training_data.n_rows
+        rep = fw.refine(train_fields[2:3])
+        assert fw.training_data.n_rows == rows_before + REL.size
+        assert rep.n_rows == fw.training_data.n_rows
+        assert fw.model.info.method == "grid"  # re-searched, not warm-started
+
+    def test_refine_without_fit_falls_back(self, train_fields):
+        fw = Fxrz(compressor="szx", rel_error_bounds=REL, n_iter=2, cv=2)
+        rep = fw.refine(train_fields[:2])
+        assert rep.n_rows == 2 * REL.size
+
+
+class TestInferenceSurface:
+    def test_evaluate_targets_accepts_safety(self, fitted, train_fields):
+        data = train_fields[0].data
+        plain = fitted.evaluate_targets(data, [4.0, 8.0])
+        safe = fitted.evaluate_targets(data, [4.0, 8.0], safety=1.5)
+        # positive safety biases toward larger error bounds, matching
+        # predict_error_bound's convention
+        assert (safe.predicted_ebs >= plain.predicted_ebs).all()
+        eb_direct = fitted.predict_error_bound(data, 4.0, safety=1.5).error_bound
+        assert safe.predicted_ebs[0] == pytest.approx(eb_direct)
+
+    def test_feature_seconds_on_report_not_first_prediction(self, fitted, train_fields):
+        rep = fitted.evaluate_targets(train_fields[0].data, [4.0, 8.0, 12.0])
+        assert rep.feature_seconds > 0
+        assert all(p.feature_seconds == 0.0 for p in rep.predictions)
+        assert rep.inference_seconds == pytest.approx(
+            rep.feature_seconds + sum(p.inference_seconds for p in rep.predictions)
+        )

@@ -5,8 +5,6 @@ function importable and runnable (correct table structure, no crashes)
 without paying benchmark-scale runtimes in the unit suite.
 """
 
-import pytest
-
 from repro.bench.harness import _SCALES
 
 TINY = _SCALES["tiny"]

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.bench.curves import clear_cache, true_curve
-from repro.bench.harness import BenchScale, format_table, get_scale
+from repro.bench.harness import format_table, get_scale
 from repro.data import load_field
 
 

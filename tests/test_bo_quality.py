@@ -6,7 +6,6 @@ that statistically on synthetic objectives (seed-averaged to be stable).
 """
 
 import numpy as np
-import pytest
 
 from repro.ml.bayesopt import BayesianOptimizer
 from repro.ml.space import Choice, IntRange, SearchSpace

@@ -1,6 +1,5 @@
 """CLI command tests (python -m repro ...)."""
 
-import numpy as np
 import pytest
 
 from repro.cli import build_parser, main

@@ -7,7 +7,6 @@ from repro.core.collection import DEFAULT_REL_EBS, TrainingCollector, TrainingDa
 from repro.core.prediction import ErrorBoundModel, invert_curve
 from repro.core.training import train_forest
 from repro.data import load_dataset
-from repro.ml.space import SCALED_SPACE
 
 SHAPE = (16, 20, 20)
 REL = np.geomspace(1e-3, 1e-1, 5)

@@ -1,6 +1,5 @@
 """CompressionResult accounting and the CLI bench command."""
 
-import numpy as np
 import pytest
 
 from repro.compressors import get_compressor

@@ -3,7 +3,6 @@ compressibility profile its real counterpart is known for (these are the
 properties the whole evaluation leans on — see DESIGN.md substitutions)."""
 
 import numpy as np
-import pytest
 
 from repro.compressors import get_compressor
 from repro.data import load_dataset, load_field

@@ -5,7 +5,7 @@ import pytest
 
 from repro.ml.bayesopt import BayesianOptimizer
 from repro.ml.gp import GaussianProcess, matern52
-from repro.ml.space import SCALED_SPACE, Choice, IntRange, SearchSpace
+from repro.ml.space import Choice, IntRange, SearchSpace
 
 
 class TestKernel:

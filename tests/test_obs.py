@@ -1,0 +1,314 @@
+"""Observability subsystem: spans, recorder, metrics, summary, CLI."""
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.obs.trace import _NOOP_SPAN
+
+
+@pytest.fixture(autouse=True)
+def _observability_off():
+    """Every test starts and ends with observability disabled."""
+    obs.disable()
+    obs.registry().clear()
+    yield
+    obs.disable()
+    obs.registry().clear()
+
+
+class TestSpanNesting:
+    def test_children_attach_to_enclosing_span(self):
+        with obs.capture() as rec:
+            with obs.span("outer", stage="collection"):
+                with obs.span("inner.a"):
+                    pass
+                with obs.span("inner.b"):
+                    pass
+        assert [r.name for r in rec.roots] == ["outer"]
+        assert [c.name for c in rec.roots[0].children] == ["inner.a", "inner.b"]
+        assert rec.roots[0].attrs == {"stage": "collection"}
+
+    def test_sibling_roots(self):
+        with obs.capture() as rec:
+            with obs.span("first"):
+                pass
+            with obs.span("second"):
+                pass
+        assert [r.name for r in rec.roots] == ["first", "second"]
+
+    def test_elapsed_covers_children(self):
+        with obs.capture() as rec:
+            with obs.span("outer"):
+                with obs.span("inner"):
+                    sum(range(1000))
+        outer, inner = rec.roots[0], rec.roots[0].children[0]
+        assert outer.elapsed >= inner.elapsed >= 0.0
+
+    def test_set_attaches_attributes_mid_span(self):
+        with obs.capture() as rec:
+            with obs.span("s") as sp:
+                sp.set(bytes_out=42)
+        assert rec.roots[0].attrs["bytes_out"] == 42
+
+
+class TestDisabledMode:
+    def test_span_returns_shared_noop(self):
+        assert obs.span("a") is obs.span("b") is _NOOP_SPAN
+
+    def test_noop_span_is_inert(self):
+        with obs.span("ignored", x=1) as sp:
+            assert sp.set(y=2) is sp
+        assert sp.elapsed == 0.0
+        assert sp.attrs == {}
+
+    def test_nothing_recorded(self):
+        with obs.span("ignored"):
+            pass
+        obs.count("ignored.counter")
+        obs.observe("ignored.hist", 1.0)
+        obs.set_gauge("ignored.gauge", 1.0)
+        assert obs.get_recorder() is None
+        assert obs.registry().as_dict() == {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }
+
+    def test_timed_span_still_times(self):
+        with obs.timed_span("always") as sp:
+            sum(range(1000))
+        assert sp.elapsed > 0.0
+        assert obs.get_recorder() is None
+
+    def test_enable_disable_roundtrip(self):
+        assert not obs.enabled()
+        rec = obs.enable()
+        assert obs.enabled() and obs.get_recorder() is rec
+        assert obs.disable() is rec
+        assert not obs.enabled()
+
+
+class TestJsonRoundTrip:
+    def test_export_and_load(self, tmp_path):
+        with obs.capture() as rec:
+            with obs.span("fit.collection", n_fields=3) as sp:
+                with obs.span("collection.field", field="miranda/density"):
+                    pass
+                sp.set(numpy_attr=np.float64(1.5), arr=np.arange(2))
+            obs.count("compressor.calls", 7)
+        path = obs.export_trace(tmp_path / "t.json", rec)
+        payload = obs.load_trace(path)
+        root = payload["spans"][0]
+        assert root.name == "fit.collection"
+        assert root.attrs["n_fields"] == 3
+        assert root.attrs["numpy_attr"] == 1.5
+        assert root.attrs["arr"] == [0, 1]
+        assert root.children[0].attrs["field"] == "miranda/density"
+        assert root.elapsed == pytest.approx(rec.roots[0].elapsed)
+        assert payload["metrics"]["counters"]["compressor.calls"] == 7
+
+    def test_export_is_valid_json(self, tmp_path):
+        with obs.capture() as rec:
+            with obs.span("s"):
+                pass
+        path = obs.export_trace(tmp_path / "t.json", rec)
+        raw = json.loads(path.read_text())
+        assert raw["version"] == 1 and len(raw["spans"]) == 1
+
+    def test_load_rejects_unknown_version(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"version": 99, "spans": []}))
+        with pytest.raises(ValueError, match="version"):
+            obs.load_trace(path)
+
+
+class TestMetricsRegistry:
+    def test_counter_arithmetic(self):
+        reg = obs.MetricsRegistry()
+        c = reg.counter("calls")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        assert reg.counter("calls") is c  # get-or-create
+
+    def test_gauge_last_write_wins(self):
+        g = obs.MetricsRegistry().gauge("depth")
+        g.set(3)
+        g.set(1.5)
+        assert g.value == 1.5
+
+    def test_histogram_summary_stats(self):
+        h = obs.MetricsRegistry().histogram("seconds")
+        for v in (1.0, 2.0, 6.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.total == 9.0
+        assert h.mean == 3.0
+        assert h.min == 1.0 and h.max == 6.0
+
+    def test_empty_histogram_is_zeroed(self):
+        h = obs.MetricsRegistry().histogram("empty")
+        assert h.count == 0 and h.mean == 0.0 and h.min == 0.0 and h.max == 0.0
+
+    def test_as_dict_and_clear(self):
+        reg = obs.MetricsRegistry()
+        reg.counter("a").inc()
+        reg.gauge("b").set(2)
+        reg.histogram("c").observe(3.0)
+        d = reg.as_dict()
+        assert d["counters"] == {"a": 1}
+        assert d["gauges"] == {"b": 2.0}
+        assert d["histograms"]["c"]["count"] == 1
+        reg.clear()
+        assert reg.as_dict() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_module_helpers_record_when_enabled(self):
+        obs.enable()
+        obs.count("calls", 2)
+        obs.observe("lat", 0.5)
+        obs.set_gauge("depth", 7)
+        d = obs.registry().as_dict()
+        assert d["counters"]["calls"] == 2
+        assert d["gauges"]["depth"] == 7.0
+        assert d["histograms"]["lat"]["count"] == 1
+
+
+class TestThreadSafety:
+    def test_concurrent_spans_and_counters(self):
+        n_threads, per_thread = 8, 50
+        rec = obs.enable()
+        errors = []
+
+        def work():
+            try:
+                for i in range(per_thread):
+                    with obs.span("worker.span", i=i):
+                        obs.count("worker.ops")
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=work) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        obs.disable()
+        assert not errors
+        # spans opened on a thread with no enclosing span become roots
+        assert len(rec.roots) == n_threads * per_thread
+        assert obs.registry().as_dict()["counters"]["worker.ops"] == n_threads * per_thread
+
+
+class TestSummary:
+    def test_aggregate_totals_and_self_time(self):
+        with obs.capture() as rec:
+            for _ in range(3):
+                with obs.span("outer"):
+                    with obs.span("inner"):
+                        sum(range(200))
+        stats = obs.aggregate(rec.roots)
+        assert stats["outer"].count == 3
+        assert stats["inner"].count == 3
+        assert stats["outer"].total_seconds >= stats["inner"].total_seconds
+        assert stats["outer"].self_seconds == pytest.approx(
+            stats["outer"].total_seconds - stats["inner"].total_seconds, abs=1e-9
+        )
+
+    def test_format_summary_lists_stages_and_metrics(self):
+        with obs.capture() as rec:
+            with obs.span("fit.collection"):
+                pass
+            obs.count("collection.fields", 4)
+        text = obs.format_summary(rec.roots, obs.registry().as_dict())
+        assert "fit.collection" in text
+        assert "collection.fields" in text
+        assert "total(s)" in text
+
+    def test_format_summary_empty_trace(self):
+        assert "(no spans recorded)" in obs.format_summary([])
+
+
+class TestPipelineIntegration:
+    """Traces derived from real fits agree with the reports they feed."""
+
+    def test_fit_spans_match_setup_report(self):
+        from repro import CarolFramework, load_dataset
+
+        fields = load_dataset("miranda", shape=(8, 12, 12))[:2]
+        fw = CarolFramework(compressor="szx",
+                            rel_error_bounds=np.geomspace(1e-3, 1e-1, 4),
+                            n_iter=3, cv=2)
+        with obs.capture() as rec:
+            report = fw.fit(fields)
+        stats = obs.aggregate(rec.roots)
+        # same measurement object feeds both — agreement is exact, well
+        # inside the 1% acceptance band
+        assert stats["fit.collection"].total_seconds == pytest.approx(
+            report.collection_seconds, rel=0.01
+        )
+        assert stats["fit.training"].total_seconds == pytest.approx(
+            report.training_seconds, rel=0.01
+        )
+        # per-field and per-iteration spans nest under the stage spans
+        assert stats["collection.field"].count == 2
+        assert stats["training.iteration"].count == fw.model.info.n_evaluations
+        it = next(
+            s for r in rec.roots for s in _walk(r) if s.name == "training.iteration"
+        )
+        assert "params" in it.attrs and "score" in it.attrs
+
+    def test_compressor_metrics_recorded(self):
+        from repro import get_compressor
+
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=(6, 8, 8))
+        codec = get_compressor("szx")
+        with obs.capture() as rec:
+            result = codec.compress(data, 0.1)
+            codec.decompress(result)
+        counters = obs.registry().as_dict()["counters"]
+        assert counters["compressor.compress.calls"] == 1
+        assert counters["compressor.compress.bytes_in"] == data.nbytes
+        assert counters["compressor.compress.bytes_out"] == len(result.payload)
+        assert counters["compressor.decompress.calls"] == 1
+        names = {s.name for r in rec.roots for s in _walk(r)}
+        assert {"compressor.compress", "compressor.decompress"} <= names
+
+
+def _walk(span):
+    yield span
+    for child in span.children:
+        yield from _walk(child)
+
+
+class TestCli:
+    def test_train_trace_and_summary(self, tmp_path, capsys):
+        from repro.cli import main
+
+        model = tmp_path / "m.npz"
+        trace = tmp_path / "t.json"
+        rc = main([
+            "train", "--datasets", "miranda", "--shape", "8", "12", "12",
+            "--compressor", "szx", "--out", str(model), "-n", "4", "--iters", "3",
+            "--trace", str(trace),
+        ])
+        assert rc == 0
+        assert trace.exists()
+        assert not obs.enabled()  # CLI turns observability back off
+        capsys.readouterr()
+
+        rc = main(["trace-summary", str(trace)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for stage in ("fit.collection", "fit.training", "collection.field",
+                      "compressor.compress"):
+            assert stage in out
+
+    def test_trace_summary_missing_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        rc = main(["trace-summary", str(tmp_path / "absent.json")])
+        assert rc == 2
+        assert "cannot read trace" in capsys.readouterr().err

@@ -7,7 +7,6 @@ from hypothesis import strategies as st
 
 from repro.compressors.sz3 import SZ3Compressor
 from repro.encoding.range_coder import (
-    RangeDecoder,
     RangeEncoder,
     _quantized_freqs,
     range_decode,
