@@ -18,6 +18,9 @@ Main entry points:
 - :mod:`repro.api` — the recommended stable facade (:class:`Carol`,
   :class:`Fxrz`, :class:`FrameworkOptions`, :func:`load`, :func:`save`),
   re-exported here so ``from repro import Carol`` works;
+- :mod:`repro.serve` — the serving layer (:class:`Service`,
+  :class:`ServiceOptions`, :class:`ModelRegistry`): batched, cached,
+  optionally multi-process prediction over a fitted framework;
 - :class:`CarolFramework` / :class:`FxrzFramework` — the ratio-controlled
   frameworks (paper contribution / baseline);
 - :func:`get_compressor` — the four error-bounded compressors
@@ -29,7 +32,16 @@ Main entry points:
 """
 
 from repro import obs
-from repro.api import Carol, FrameworkOptions, Fxrz, load, save
+from repro.api import (
+    Carol,
+    FrameworkOptions,
+    Fxrz,
+    ModelRegistry,
+    Service,
+    ServiceOptions,
+    load,
+    save,
+)
 from repro.compressors import (
     CompressionResult,
     LossyCompressor,
@@ -62,6 +74,9 @@ __all__ = [
     "Carol",
     "Fxrz",
     "FrameworkOptions",
+    "Service",
+    "ServiceOptions",
+    "ModelRegistry",
     "load",
     "save",
     "obs",

@@ -2,22 +2,34 @@
 
 The recommended entry point for applications::
 
-    from repro.api import Carol, FrameworkOptions, load, save
+    from repro.api import Carol, FrameworkOptions, Service, load, save
 
     carol = Carol(compressor="sz3")            # or Fxrz(...)
     carol.fit(fields)
     save("model.npz", carol)
     carol = load("model.npz")
 
-Everything here is a thin, renamed view over the library internals —
-:class:`Carol` *is* :class:`repro.core.carol.CarolFramework` — so code
-written against either surface interoperates freely; the deep import
-paths remain supported.
+    service = Service(carol)                   # batched + cached serving
+    preds = service.predict_batch([(field.data, 16.0), (field.data, 32.0)])
 
-:class:`FrameworkOptions` is the hashable, frozen counterpart to the
-frameworks' keyword arguments: share one options value across services,
-use it as a cache key, and :meth:`~FrameworkOptions.build` frameworks
-from it.
+Everything here is a thin, renamed view over the library internals —
+:class:`Carol` *is* :class:`repro.core.carol.CarolFramework` and
+:class:`Service` *is* :class:`repro.serve.PredictionService` — so code
+written against either surface interoperates freely; the deep import
+paths remain supported (but new code should import from here).
+
+:class:`FrameworkOptions` and :class:`ServiceOptions` are the hashable,
+frozen counterparts of the frameworks' and service's keyword arguments:
+share one options value across services, use it as a cache key, and
+:meth:`~FrameworkOptions.build` the live object from it. A built
+framework round-trips back with :meth:`FrameworkOptions.from_framework`.
+
+Signature conventions, uniform across the surface: configuration is
+keyword-only everywhere; a single requested ratio is ``target_ratio``
+and several are ``target_ratios``; prediction bias is ``safety`` on
+every inference entry point (``predict_error_bound``,
+``predict_error_bound_batch``, ``evaluate_targets``,
+``compress_to_ratio``, and the service's ``predict`` family).
 """
 
 from __future__ import annotations
@@ -28,17 +40,21 @@ import numpy as np
 
 from repro.core.carol import CarolFramework
 from repro.core.framework import (
+    BatchPrediction,
     EvaluationReport,
     Prediction,
     RatioControlledFramework,
     SetupReport,
 )
 from repro.core.fxrz import FxrzFramework
+from repro.serve.registry import ModelRegistry
+from repro.serve.service import PredictionService, ServiceOptions, VerifiedPrediction
 from repro.utils.serialization import load_framework, save_framework
 
 #: Facade aliases — ``Carol`` is ``CarolFramework``, nothing in between.
 Carol = CarolFramework
 Fxrz = FxrzFramework
+Service = PredictionService
 
 _KINDS = {"carol": CarolFramework, "fxrz": FxrzFramework}
 
@@ -68,9 +84,36 @@ class FrameworkOptions:
                 tuple(float(e) for e in self.rel_error_bounds),
             )
 
-    def to_kwargs(self) -> dict:
-        """Keyword arguments accepted by the framework constructors."""
+    @classmethod
+    def from_framework(cls, framework: RatioControlledFramework) -> "FrameworkOptions":
+        """Recover the options a built framework was constructed with.
+
+        Round-trips with :meth:`build`:
+        ``FrameworkOptions.from_framework(opts.build("carol")) == opts``.
+        """
+        rel = framework.rel_error_bounds
+        return cls(
+            compressor=framework.compressor_name,
+            rel_error_bounds=None if rel is None else tuple(float(e) for e in rel),
+            n_iter=framework.n_iter,
+            cv=framework.cv,
+            seed=framework.seed,
+            calibration_points=framework.calibration_points,
+            model_kind=framework.model_kind,
+        )
+
+    def to_kwargs(self, *, include_compressor: bool = False) -> dict:
+        """Keyword arguments accepted by the framework constructors.
+
+        By default the ``compressor`` key is omitted (it is the one
+        positional framework argument), so the result can be passed
+        straight through: ``Carol(opts.compressor, **opts.to_kwargs())``.
+        Pass ``include_compressor=True`` for a complete flat dict (e.g.
+        to serialize or log the configuration).
+        """
         kwargs = {f.name: getattr(self, f.name) for f in dc_fields(self)}
+        if not include_compressor:
+            kwargs.pop("compressor")
         if kwargs["rel_error_bounds"] is not None:
             kwargs["rel_error_bounds"] = np.asarray(
                 kwargs["rel_error_bounds"], dtype=np.float64
@@ -85,9 +128,7 @@ class FrameworkOptions:
             raise ValueError(
                 f"framework must be one of {sorted(_KINDS)}, got {framework!r}"
             ) from None
-        kwargs = self.to_kwargs()
-        compressor = kwargs.pop("compressor")
-        return cls(compressor, **kwargs)
+        return cls(self.compressor, **self.to_kwargs())
 
 
 def load(path) -> RatioControlledFramework:
@@ -104,10 +145,15 @@ __all__ = [
     "Carol",
     "Fxrz",
     "FrameworkOptions",
+    "Service",
+    "ServiceOptions",
+    "ModelRegistry",
+    "VerifiedPrediction",
     "load",
     "save",
     "RatioControlledFramework",
     "SetupReport",
     "Prediction",
+    "BatchPrediction",
     "EvaluationReport",
 ]

@@ -10,9 +10,13 @@ Commands mirror the library's workflow:
   model;
 - ``compress``  — end-to-end: predict, compress, report achieved ratio;
 - ``bench``     — run one named paper experiment and print its table;
+- ``serve-bench`` — replay a synthetic request stream through
+  ``repro.serve`` and report latency/throughput vs the unbatched
+  baseline (exits non-zero if batched results diverge from sequential
+  ones or the feature cache never hits);
 - ``trace-summary`` — aggregate a ``--trace`` JSON into a per-stage table.
 
-``train``, ``compress``, and ``bench`` accept ``--trace out.json``:
+``train``, ``compress``, ``bench``, and ``serve-bench`` accept ``--trace out.json``:
 observability (:mod:`repro.obs`) is enabled for the run and the span
 tree plus metrics are written to the given path on exit.
 """
@@ -137,6 +141,106 @@ def cmd_compress(args) -> int:
     return 0
 
 
+def cmd_serve_bench(args) -> int:
+    import time
+
+    from repro.api import FrameworkOptions, Service, ServiceOptions
+
+    if args.model:
+        fw = load_framework(args.model)
+    else:
+        train = load_dataset(args.dataset, shape=tuple(args.shape))
+        opts = FrameworkOptions(
+            compressor=args.compressor,
+            rel_error_bounds=tuple(np.geomspace(args.eb_min, args.eb_max, args.n)),
+            n_iter=args.iters,
+            cv=2,
+        )
+        fw = opts.build(args.framework)
+        fw.fit(train)
+
+    rng = np.random.default_rng(args.seed)
+    pool_fields = load_dataset(args.dataset, shape=tuple(args.shape), seed=args.seed + 1)
+    datas = [f.data for f in pool_fields[: max(1, args.fields)]]
+    ratio_choices = np.linspace(2.0, 32.0, 7)
+    stream = [
+        (datas[int(rng.integers(len(datas)))], float(rng.choice(ratio_choices)))
+        for _ in range(args.requests)
+    ]
+    print(
+        f"serve-bench: {len(stream)} requests over {len(datas)} unique fields, "
+        f"batch={args.batch}, workers={args.workers}, cache={args.cache}"
+    )
+
+    # Unbatched baseline: one full predict() per request, no cache.
+    base_lat: list[float] = []
+    base_ebs: list[float] = []
+    t0 = time.perf_counter()
+    for data, ratio in stream:
+        t = time.perf_counter()
+        base_ebs.append(fw.predict_error_bound(data, ratio).error_bound)
+        base_lat.append(time.perf_counter() - t)
+    base_wall = time.perf_counter() - t0
+
+    # Batched + cached service over the identical stream.
+    service = Service(
+        fw,
+        options=ServiceOptions(
+            cache_entries=args.cache,
+            workers=args.workers,
+            timeout_seconds=args.timeout,
+        ),
+    )
+    serve_lat: list[float] = []
+    serve_ebs: list[float] = []
+    t0 = time.perf_counter()
+    with service:
+        for start in range(0, len(stream), args.batch):
+            chunk = stream[start : start + args.batch]
+            t = time.perf_counter()
+            preds = service.predict_batch(chunk)
+            elapsed = time.perf_counter() - t
+            serve_lat.extend([elapsed / len(chunk)] * len(chunk))
+            serve_ebs.extend(p.error_bound for p in preds)
+        stats = service.stats()
+    serve_wall = time.perf_counter() - t0
+
+    def _line(name: str, lat: list[float], wall: float) -> None:
+        p50, p99 = (float(np.percentile(lat, q)) * 1e3 for q in (50, 99))
+        print(
+            f"{name:<9} {len(lat) / wall:>9.1f} req/s   "
+            f"p50 {p50:>8.3f} ms   p99 {p99:>8.3f} ms   (total {wall:.3f}s)"
+        )
+
+    _line("baseline", base_lat, base_wall)
+    _line("service", serve_lat, serve_wall)
+    print(f"speedup   {base_wall / serve_wall:>9.1f}x throughput")
+    cache = stats["cache"]
+    print(
+        f"cache     {cache['hits']} hits / {cache['misses']} misses "
+        f"({100.0 * cache['hit_rate']:.1f}% hit rate), "
+        f"{cache['evictions']} evictions"
+    )
+    if args.workers:
+        pool = stats["pool"]
+        print(
+            f"pool      {pool['completed']} tasks, {pool['fallbacks']} fallbacks, "
+            f"{pool['timeouts']} timeouts"
+        )
+
+    ok = True
+    mismatch = [abs(a - b) for a, b in zip(base_ebs, serve_ebs)]
+    if any(m != 0.0 for m in mismatch):
+        print(f"FAIL: batched error bounds diverge from baseline (max {max(mismatch):g})")
+        ok = False
+    else:
+        print("error bounds: bitwise-identical to baseline")
+    if len(stream) > len(datas) and cache["hits"] == 0 and args.cache > 0:
+        print("FAIL: repeated-field stream produced zero cache hits")
+        ok = False
+    return 0 if ok else 1
+
+
 def cmd_trace_summary(args) -> int:
     try:
         payload = obs.load_trace(args.trace_file)
@@ -217,6 +321,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("experiment", help="e.g. fig2_surrogate_curves, tab5_calibration")
     _add_trace_arg(p)
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser(
+        "serve-bench",
+        help="replay a synthetic request stream through the serving layer",
+    )
+    p.add_argument("--model", default=None, help="saved .npz framework; trains one if omitted")
+    p.add_argument("--framework", choices=("carol", "fxrz"), default="carol")
+    p.add_argument("--compressor", choices=available_compressors(), default="szx")
+    p.add_argument("--dataset", choices=DATASET_NAMES, default="miranda")
+    p.add_argument("--shape", type=int, nargs="+", default=[12, 16, 16])
+    p.add_argument("--requests", type=int, default=200, help="stream length")
+    p.add_argument("--fields", type=int, default=4, help="distinct fields in the stream")
+    p.add_argument("--batch", type=int, default=16, help="requests per predict_batch call")
+    p.add_argument("--workers", type=int, default=0, help="worker processes (0 = in-process)")
+    p.add_argument("--cache", type=int, default=256, help="feature-cache entries (0 disables)")
+    p.add_argument("--timeout", type=float, default=30.0, help="per-task worker timeout (s)")
+    p.add_argument("--eb-min", type=float, default=1e-3)
+    p.add_argument("--eb-max", type=float, default=1e-1)
+    p.add_argument("-n", type=int, default=5, help="training error-bound grid size")
+    p.add_argument("--iters", type=int, default=4, help="training search iterations")
+    p.add_argument("--seed", type=int, default=0)
+    _add_trace_arg(p)
+    p.set_defaults(func=cmd_serve_bench)
 
     p = sub.add_parser("trace-summary",
                        help="print a per-stage table from a --trace JSON")

@@ -17,7 +17,10 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.framework import RatioControlledFramework
-from repro.features.parallel import extract_features_parallel
+from repro.features.parallel import (
+    extract_features_parallel,
+    extract_features_parallel_many,
+)
 
 
 class CarolFramework(RatioControlledFramework):
@@ -29,3 +32,6 @@ class CarolFramework(RatioControlledFramework):
 
     def _extract_features(self, data: np.ndarray) -> tuple[np.ndarray, float]:
         return extract_features_parallel(data)
+
+    def _extract_features_many(self, arrays: list) -> tuple[np.ndarray, float]:
+        return extract_features_parallel_many(arrays)

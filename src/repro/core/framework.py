@@ -61,6 +61,30 @@ class Prediction:
 
 
 @dataclass
+class BatchPrediction:
+    """One ``predict_error_bound_batch`` call: shared feature pass + stacked inference.
+
+    Mirrors :class:`EvaluationReport`'s accounting: the (single) feature
+    extraction is charged here, not faked onto any one prediction, and the
+    stacked model call's time lives in ``inference_seconds``.
+    """
+
+    predictions: list[Prediction]
+    feature_seconds: float
+    inference_seconds: float
+
+    @property
+    def error_bounds(self) -> np.ndarray:
+        return np.array([p.error_bound for p in self.predictions])
+
+    def __iter__(self):
+        return iter(self.predictions)
+
+    def __len__(self) -> int:
+        return len(self.predictions)
+
+
+@dataclass
 class EvaluationReport:
     """Requested-vs-achieved ratios on one test input (Tables 3, Fig. 7).
 
@@ -122,6 +146,30 @@ class RatioControlledFramework:
 
     def _extract_features(self, data: np.ndarray) -> tuple[np.ndarray, float]:
         raise NotImplementedError
+
+    def _extract_features_many(self, arrays: list) -> tuple[np.ndarray, float]:
+        """Stacked multi-field extraction; subclasses override with the
+        batched entry points of :mod:`repro.features`."""
+        rows, total = [], 0.0
+        for arr in arrays:
+            feats, secs = self._extract_features(arr)
+            rows.append(feats)
+            total += secs
+        return (np.stack(rows) if rows else np.empty((0, 0))), total
+
+    def extract_features(self, data: np.ndarray) -> np.ndarray:
+        """Public feature hook: the feature vector for one input.
+
+        This is the value ``predict_error_bound(..., features=...)`` accepts
+        back — the cache hook point the serving layer keys on (extract once
+        per distinct input, reuse across requests and targets).
+        """
+        return self._extract_features(as_float_array(data))[0]
+
+    def extract_features_many(self, datas) -> np.ndarray:
+        """Stacked ``(n, d)`` feature matrix for several inputs; row ``i``
+        is bitwise-identical to ``extract_features(datas[i])``."""
+        return self._extract_features_many([as_float_array(d) for d in datas])[0]
 
     def _make_collector(self) -> TrainingCollector:
         return TrainingCollector(
@@ -197,15 +245,26 @@ class RatioControlledFramework:
     # -- inference -----------------------------------------------------------------
 
     def predict_error_bound(
-        self, data: np.ndarray, target_ratio: float, safety: float = 0.0
+        self,
+        data: np.ndarray,
+        target_ratio: float,
+        *,
+        safety: float = 0.0,
+        features: np.ndarray | None = None,
     ) -> Prediction:
         """Predict the error bound that reaches ``target_ratio`` on ``data``.
 
         ``safety`` > 0 biases toward overshooting the ratio (quota-safe);
-        see :meth:`ErrorBoundModel.predict_error_bound`.
+        see :meth:`ErrorBoundModel.predict_error_bound`. Passing a
+        precomputed ``features`` vector (from :meth:`extract_features`)
+        skips extraction entirely — the cache hook used by
+        :class:`repro.serve.PredictionService`.
         """
-        arr = as_float_array(data)
-        feats, feat_s = self._extract_features(arr)
+        if features is None:
+            arr = as_float_array(data)
+            feats, feat_s = self._extract_features(arr)
+        else:
+            feats, feat_s = np.asarray(features, dtype=np.float64), 0.0
         with timed_span(
             "inference.predict", framework=self.name, target_ratio=float(target_ratio)
         ) as sp:
@@ -219,8 +278,42 @@ class RatioControlledFramework:
             inference_seconds=sp.elapsed,
         )
 
+    def predict_error_bound_batch(
+        self,
+        data: np.ndarray,
+        target_ratios,
+        *,
+        safety: float = 0.0,
+        features: np.ndarray | None = None,
+    ) -> BatchPrediction:
+        """Predict error bounds for many targets on one input, in one pass.
+
+        Features are extracted once (or taken from ``features``) and model
+        inference runs on a stacked design matrix, so the cost is one
+        extraction plus one vectorized model call. Error bounds are
+        bitwise-identical to per-target :meth:`predict_error_bound` calls —
+        see :meth:`ErrorBoundModel.predict_error_bound_batch`.
+        """
+        ratios = np.asarray(target_ratios, dtype=np.float64).ravel()
+        if features is None:
+            arr = as_float_array(data)
+            feats, feat_s = self._extract_features(arr)
+        else:
+            feats, feat_s = np.asarray(features, dtype=np.float64), 0.0
+        with timed_span(
+            "inference.predict_batch", framework=self.name, n_targets=int(ratios.size)
+        ) as sp:
+            ebs = self.model.predict_error_bound_batch(feats, ratios, safety=safety)
+        preds = [
+            Prediction(float(eb), float(t), feats, 0.0, 0.0)
+            for eb, t in zip(ebs, ratios)
+        ]
+        return BatchPrediction(
+            predictions=preds, feature_seconds=feat_s, inference_seconds=sp.elapsed
+        )
+
     def compress_to_ratio(
-        self, data: np.ndarray, target_ratio: float, safety: float = 0.0
+        self, data: np.ndarray, target_ratio: float, *, safety: float = 0.0
     ) -> tuple[CompressionResult, Prediction]:
         """End-to-end: predict the error bound, then actually compress."""
         pred = self.predict_error_bound(data, target_ratio, safety=safety)
@@ -230,16 +323,16 @@ class RatioControlledFramework:
     # -- evaluation ------------------------------------------------------------------
 
     def evaluate_targets(
-        self, data: np.ndarray, targets, safety: float = 0.0
+        self, data: np.ndarray, target_ratios, *, safety: float = 0.0
     ) -> EvaluationReport:
         """Requested-vs-achieved ratios; alpha per the paper's Eq. (1).
 
         ``safety`` applies to every per-target prediction, matching
-        :meth:`predict_error_bound` (the two inference entry points share
-        one bias convention). Features are extracted once and charged to
-        the report, not to any single prediction.
+        :meth:`predict_error_bound` (all inference entry points share one
+        bias convention and parameter names). Features are extracted once
+        and charged to the report, not to any single prediction.
         """
-        targets = np.asarray(targets, dtype=np.float64).ravel()
+        targets = np.asarray(target_ratios, dtype=np.float64).ravel()
         arr = as_float_array(data)
         feats, feat_s = self._extract_features(arr)
         achieved = np.empty(targets.size)

@@ -15,7 +15,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.framework import RatioControlledFramework
-from repro.features.serial import extract_features_serial
+from repro.features.serial import extract_features_serial, extract_features_serial_many
 
 
 class FxrzFramework(RatioControlledFramework):
@@ -33,3 +33,6 @@ class FxrzFramework(RatioControlledFramework):
 
     def _extract_features(self, data: np.ndarray) -> tuple[np.ndarray, float]:
         return extract_features_serial(data, stride=self.feature_stride)
+
+    def _extract_features_many(self, arrays: list) -> tuple[np.ndarray, float]:
+        return extract_features_serial_many(arrays, stride=self.feature_stride)

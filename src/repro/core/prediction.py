@@ -101,6 +101,41 @@ class ErrorBoundModel:
             log_eb += float(safety) * float(self.forest.predict_std(x[None, :])[0])
         return float(np.clip(np.exp(log_eb), *self._eb_range))
 
+    def predict_error_bound_batch(
+        self, features: np.ndarray, target_ratios, safety: float = 0.0
+    ) -> np.ndarray:
+        """Vectorized :meth:`predict_error_bound` over stacked requests.
+
+        ``features`` is either one vector (shared by every ratio) or an
+        ``(n, d)`` matrix aligned with ``target_ratios``. The design matrix
+        rows are built exactly as the scalar path builds its single row and
+        every model predicts rows independently, so element ``i`` of the
+        result is bitwise-identical to a scalar call with ``features[i]``
+        and ``target_ratios[i]`` — the guarantee the serving layer's
+        ``predict_batch`` relies on.
+        """
+        if self.forest is None:
+            raise RuntimeError("model is not fitted")
+        ratios = np.asarray(target_ratios, dtype=np.float64).ravel()
+        if ratios.size == 0:
+            return np.empty(0)
+        if np.any(ratios <= 0):
+            raise ValueError("target_ratio must be positive")
+        F = np.asarray(features, dtype=np.float64)
+        if F.ndim == 1:
+            F = np.broadcast_to(F, (ratios.size, F.size))
+        elif F.shape[0] != ratios.size:
+            raise ValueError(
+                f"features rows ({F.shape[0]}) must match target_ratios ({ratios.size})"
+            )
+        X = np.column_stack((F, np.log(ratios)))
+        log_eb = np.asarray(self.forest.predict(X), dtype=np.float64)
+        if safety and hasattr(self.forest, "predict_std"):
+            log_eb = log_eb + float(safety) * np.asarray(
+                self.forest.predict_std(X), dtype=np.float64
+            )
+        return np.clip(np.exp(log_eb), *self._eb_range)
+
     @property
     def checkpoint(self) -> list | None:
         return self.info.checkpoint if self.info else None

@@ -77,6 +77,37 @@ def _batched_lorenzo(blocks: np.ndarray) -> np.ndarray:
     return pred
 
 
+def _parallel_features(arr: np.ndarray, block_edge: int, block_stride: int) -> np.ndarray:
+    blocks = _sample_blocks(arr, block_edge, block_stride)
+    d = arr.ndim
+    interior = (slice(None),) + (slice(1, -1),) * d
+    if any(s <= 2 for s in blocks.shape[1:]):
+        interior = (slice(None),) * (d + 1)
+
+    mean = float(blocks.mean())
+    vrange = float(blocks.max() - blocks.min())
+
+    # MND: average of the 2d axis neighbours (interior points have all 2d).
+    neigh = np.zeros_like(blocks)
+    for axis in range(1, d + 1):
+        moved = np.moveaxis(blocks, axis, 1)
+        acc = np.moveaxis(neigh, axis, 1)
+        acc[:, 1:] += moved[:, :-1]
+        acc[:, :-1] += moved[:, 1:]
+    mnd = float(np.abs(blocks - neigh / (2.0 * d))[interior].mean())
+
+    # MLD: batched Lorenzo prediction.
+    mld = float(np.abs(blocks - _batched_lorenzo(blocks))[interior].mean())
+
+    # MSD: per-axis spline deviations, batched over the block axis.
+    msd_arr = np.zeros_like(blocks)
+    for axis in range(1, d + 1):
+        msd_arr += np.abs(blocks - spline_predict_axis(blocks, axis))
+    msd = float(msd_arr[interior].mean())
+
+    return np.array([mean, vrange, mnd, mld, msd])
+
+
 def extract_features_parallel(
     data: np.ndarray,
     block_edge: int = BLOCK_EDGE,
@@ -92,32 +123,28 @@ def extract_features_parallel(
     arr = as_float_array(data).astype(np.float64, copy=False)
     with timed_span("features.parallel", block_edge=block_edge,
                     block_stride=block_stride, n_elements=int(arr.size)) as sp:
-        blocks = _sample_blocks(arr, block_edge, block_stride)
-        d = arr.ndim
-        interior = (slice(None),) + (slice(1, -1),) * d
-        if any(s <= 2 for s in blocks.shape[1:]):
-            interior = (slice(None),) * (d + 1)
+        feats = _parallel_features(arr, block_edge, block_stride)
+    return feats, sp.elapsed
 
-        mean = float(blocks.mean())
-        vrange = float(blocks.max() - blocks.min())
 
-        # MND: average of the 2d axis neighbours (interior points have all 2d).
-        neigh = np.zeros_like(blocks)
-        for axis in range(1, d + 1):
-            moved = np.moveaxis(blocks, axis, 1)
-            acc = np.moveaxis(neigh, axis, 1)
-            acc[:, 1:] += moved[:, :-1]
-            acc[:, :-1] += moved[:, 1:]
-        mnd = float(np.abs(blocks - neigh / (2.0 * d))[interior].mean())
+def extract_features_parallel_many(
+    arrays,
+    block_edge: int = BLOCK_EDGE,
+    block_stride: int = BLOCK_STRIDE,
+) -> tuple[np.ndarray, float]:
+    """Block-sampled features for several fields; returns ``((n, 5), seconds)``.
 
-        # MLD: batched Lorenzo prediction.
-        mld = float(np.abs(blocks - _batched_lorenzo(blocks))[interior].mean())
-
-        # MSD: per-axis spline deviations, batched over the block axis.
-        msd_arr = np.zeros_like(blocks)
-        for axis in range(1, d + 1):
-            msd_arr += np.abs(blocks - spline_predict_axis(blocks, axis))
-        msd = float(msd_arr[interior].mean())
-
-        feats = np.array([mean, vrange, mnd, mld, msd])
+    The stacked multi-field entry point used by :mod:`repro.serve`. Rows are
+    computed by the exact code path of :func:`extract_features_parallel`, so
+    each is bitwise-identical to a standalone call on the same array; fields
+    of different shapes batch together under one span.
+    """
+    arrs = [as_float_array(a).astype(np.float64, copy=False) for a in arrays]
+    with timed_span("features.parallel_many", block_edge=block_edge,
+                    block_stride=block_stride, n_fields=len(arrs),
+                    n_elements=int(sum(a.size for a in arrs))) as sp:
+        if arrs:
+            feats = np.stack([_parallel_features(a, block_edge, block_stride) for a in arrs])
+        else:
+            feats = np.empty((0, 5))
     return feats, sp.elapsed

@@ -94,8 +94,12 @@ class RandomForestRegressor:
         X = np.asarray(X, dtype=np.float64)
         if X.ndim == 1:
             X = X[None, :]
-        preds = np.stack([tree.predict(X) for tree in self.trees])
-        return preds.std(axis=0)
+        # Stack trees along the last (contiguous) axis so each row reduces
+        # over the same contiguous layout no matter how many rows are in the
+        # batch — a batched call is then bitwise-identical to row-at-a-time
+        # calls, which the serving layer's predict_batch guarantees.
+        preds = np.stack([tree.predict(X) for tree in self.trees], axis=-1)
+        return preds.std(axis=-1)
 
     def score(self, X: np.ndarray, y: np.ndarray) -> float:
         """Coefficient of determination R^2 (higher is better)."""

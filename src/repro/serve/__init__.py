@@ -1,0 +1,38 @@
+"""repro.serve — the serving layer: batched, cached, multi-worker inference.
+
+Turns a fitted framework into a service shaped for the paper's
+production use cases (repeated fixed-ratio requests over recurring
+fields):
+
+- :class:`PredictionService` / :class:`ServiceOptions` — the front-end:
+  ``predict``, ``predict_batch`` (stacked inference, bitwise-identical
+  to sequential calls), ``predict_targets``, and ``verify=True``
+  compression-verification;
+- :class:`LRUCache` (+ :func:`digest_array`) — content-addressed feature
+  cache with always-on hit/miss/eviction stats, mirrored into
+  :mod:`repro.obs` metrics;
+- :class:`WorkerPool` — bounded process-pool backend with per-task
+  timeouts and graceful in-process fallback;
+- :class:`ModelRegistry` — names -> saved ``.npz`` frameworks, lazily
+  loaded and hot-reloaded on file change.
+
+The blessed import surface is :mod:`repro.api` (``Service``,
+``ServiceOptions``); this package is the implementation.
+"""
+
+from repro.serve.cache import CacheStats, LRUCache, digest_array
+from repro.serve.pool import PoolStats, WorkerPool
+from repro.serve.registry import ModelRegistry
+from repro.serve.service import PredictionService, ServiceOptions, VerifiedPrediction
+
+__all__ = [
+    "PredictionService",
+    "ServiceOptions",
+    "VerifiedPrediction",
+    "LRUCache",
+    "CacheStats",
+    "digest_array",
+    "WorkerPool",
+    "PoolStats",
+    "ModelRegistry",
+]

@@ -1,0 +1,153 @@
+"""Process-pool worker backend for the serving layer.
+
+Fans CPU-bound serving work — multi-field feature extraction and
+compression-verification — out over worker processes, with the failure
+semantics a service needs and a bare ``ProcessPoolExecutor`` doesn't
+give:
+
+- **bounded queue** — at most ``max_pending`` tasks are in flight; a
+  large batch is fed through in windows instead of being dumped on the
+  executor, so memory stays bounded and the queue-depth gauge is honest;
+- **per-task timeouts** — a stuck worker costs one timeout, not the
+  whole batch;
+- **graceful fallback** — when a worker dies (``BrokenProcessPool``) or
+  a task times out, the task re-runs in-process, the broken executor is
+  recycled, and the incident is counted (``<name>.fallbacks`` /
+  ``<name>.timeouts``) instead of failing the request.
+
+Tasks must be module-level callables with picklable arguments, same as
+:mod:`repro.core.parallel_collection`. ``n_workers=0`` degrades to pure
+in-process execution so callers keep a single code path.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeout
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+
+from repro.obs import count, set_gauge
+
+
+@dataclass
+class PoolStats:
+    """Cumulative task accounting for one :class:`WorkerPool`."""
+
+    submitted: int = 0
+    completed: int = 0
+    fallbacks: int = 0
+    timeouts: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "fallbacks": self.fallbacks,
+            "timeouts": self.timeouts,
+        }
+
+
+class WorkerPool:
+    """Bounded, timeout-aware process pool with in-process fallback."""
+
+    def __init__(
+        self,
+        n_workers: int = 2,
+        *,
+        max_pending: int = 32,
+        timeout: float | None = 30.0,
+        name: str = "serve.pool",
+    ) -> None:
+        if n_workers < 0:
+            raise ValueError("n_workers must be >= 0")
+        if max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        self.n_workers = int(n_workers)
+        self.max_pending = int(max_pending)
+        self.timeout = timeout
+        self.name = name
+        self.stats = PoolStats()
+        self._lock = threading.Lock()
+        self._executor: ProcessPoolExecutor | None = None
+
+    # -- executor lifecycle ----------------------------------------------------
+
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        with self._lock:
+            if self._executor is None:
+                self._executor = ProcessPoolExecutor(max_workers=self.n_workers)
+            return self._executor
+
+    def _recycle_executor(self) -> None:
+        """Drop a broken executor; the next task lazily builds a fresh one."""
+        with self._lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=False, cancel_futures=True)
+
+    def shutdown(self) -> None:
+        with self._lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True, cancel_futures=True)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    # -- execution -------------------------------------------------------------
+
+    def _run_inline(self, fn, args, *, fallback: bool) -> object:
+        if fallback:
+            self.stats.fallbacks += 1
+            count(f"{self.name}.fallbacks")
+        result = fn(*args)
+        self.stats.completed += 1
+        return result
+
+    def run_many(self, fn, tasks: list[tuple]) -> list:
+        """Run ``fn(*task)`` for every task, preserving order.
+
+        Worker death and timeouts degrade the affected tasks to in-process
+        execution; exceptions raised *by the task itself* propagate
+        unchanged (they would fail in-process too, and hiding them would
+        turn bugs into silent fallbacks).
+        """
+        self.stats.submitted += len(tasks)
+        if self.n_workers == 0 or len(tasks) <= 1:
+            return [self._run_inline(fn, args, fallback=False) for args in tasks]
+
+        results: list = [None] * len(tasks)
+        for start in range(0, len(tasks), self.max_pending):
+            window = list(enumerate(tasks))[start : start + self.max_pending]
+            set_gauge(f"{self.name}.queue_depth", len(window))
+            try:
+                executor = self._ensure_executor()
+                futures = [(i, executor.submit(fn, *args)) for i, args in window]
+            except BrokenProcessPool:
+                self._recycle_executor()
+                for i, args in window:
+                    results[i] = self._run_inline(fn, args, fallback=True)
+                continue
+            for i, future in futures:
+                try:
+                    results[i] = future.result(timeout=self.timeout)
+                    self.stats.completed += 1
+                except FutureTimeout:
+                    self.stats.timeouts += 1
+                    count(f"{self.name}.timeouts")
+                    future.cancel()
+                    results[i] = self._run_inline(fn, tasks[i], fallback=True)
+                except BrokenProcessPool:
+                    self._recycle_executor()
+                    results[i] = self._run_inline(fn, tasks[i], fallback=True)
+            set_gauge(f"{self.name}.queue_depth", 0)
+        return results
+
+    def run(self, fn, *args) -> object:
+        """Run one task (same semantics as :meth:`run_many`)."""
+        return self.run_many(fn, [tuple(args)])[0]

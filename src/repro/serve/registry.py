@@ -1,0 +1,92 @@
+"""Model registry: names -> saved frameworks, lazily loaded, hot-reloadable.
+
+A serving deployment references models by name, not by path: the
+operator registers ``name -> model.npz`` once, the first request for a
+name pays the load, and subsequent requests reuse the cached framework.
+Overwriting the ``.npz`` (a retrain landing) is picked up automatically:
+:meth:`ModelRegistry.get` re-stats the file and reloads when its mtime
+changes, so a running service hot-swaps models without restarting.
+
+Already-fitted in-memory frameworks can be registered too (:meth:`add`)
+— convenient for tests and for embedding the service in the same process
+that trained the model.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.obs import count
+from repro.utils.serialization import load_framework
+
+
+@dataclass
+class _Entry:
+    path: Path | None
+    mtime: float | None = None
+    framework: object | None = None
+
+
+class ModelRegistry:
+    """Thread-safe name -> fitted-framework mapping with lazy (re)load."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._entries: dict[str, _Entry] = {}
+
+    def register(self, name: str, path) -> None:
+        """Map ``name`` to a saved framework file (loaded on first use)."""
+        path = Path(path)
+        if not path.exists():
+            raise FileNotFoundError(f"no saved framework at {path}")
+        with self._lock:
+            self._entries[name] = _Entry(path=path)
+
+    def add(self, name: str, framework) -> None:
+        """Register an already-fitted in-memory framework (never reloaded)."""
+        with self._lock:
+            self._entries[name] = _Entry(path=None, framework=framework)
+
+    def unregister(self, name: str) -> None:
+        with self._lock:
+            self._entries.pop(name, None)
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._entries
+
+    def get(self, name: str):
+        """The fitted framework for ``name``; loads or hot-reloads as needed."""
+        with self._lock:
+            try:
+                entry = self._entries[name]
+            except KeyError:
+                raise KeyError(
+                    f"unknown model {name!r}; registered: {sorted(self._entries)}"
+                ) from None
+            if entry.path is None:
+                return entry.framework
+            mtime = entry.path.stat().st_mtime
+            if entry.framework is None or mtime != entry.mtime:
+                if entry.framework is not None:
+                    count("serve.registry.reloads")
+                count("serve.registry.loads")
+                entry.framework = load_framework(entry.path)
+                entry.mtime = mtime
+            return entry.framework
+
+    def reload(self, name: str):
+        """Force a reload from disk (no-op for in-memory registrations)."""
+        with self._lock:
+            entry = self._entries[name]
+            if entry.path is not None:
+                count("serve.registry.loads")
+                entry.framework = load_framework(entry.path)
+                entry.mtime = entry.path.stat().st_mtime
+            return entry.framework

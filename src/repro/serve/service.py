@@ -1,0 +1,280 @@
+"""PredictionService: batched, cached, multi-worker serving front-end.
+
+Wraps any fitted :class:`~repro.core.framework.RatioControlledFramework`
+and turns the one-shot ``predict_error_bound`` call into a serving path
+shaped for repeated traffic:
+
+- **content-addressed feature cache** — features depend only on the
+  input bytes, so they are cached under :func:`~repro.serve.cache.digest_array`
+  and repeated requests against the same field skip extraction entirely;
+- **request batching** — :meth:`PredictionService.predict_batch` extracts
+  features once per *distinct* field in the batch and runs model
+  inference on one stacked design matrix; error bounds are
+  bitwise-identical to sequential :meth:`~PredictionService.predict`
+  calls (see :meth:`ErrorBoundModel.predict_error_bound_batch`);
+- **worker fan-out** — with ``workers > 0``, uncached multi-field
+  extraction and compression-verification (``verify=True``) run on a
+  :class:`~repro.serve.pool.WorkerPool` with bounded queues, per-task
+  timeouts, and in-process fallback when workers die.
+
+The service resolves its framework through a
+:class:`~repro.serve.registry.ModelRegistry` when built with
+:meth:`PredictionService.from_registry`, inheriting the registry's
+hot-reload behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.compressors.registry import get_compressor
+from repro.core.carol import CarolFramework
+from repro.core.framework import BatchPrediction, Prediction
+from repro.core.fxrz import FxrzFramework
+from repro.features.parallel import extract_features_parallel
+from repro.features.serial import extract_features_serial
+from repro.obs import count, observe, timed_span
+from repro.serve.cache import LRUCache, digest_array
+from repro.serve.pool import WorkerPool
+from repro.serve.registry import ModelRegistry
+from repro.utils.validation import as_float_array
+
+
+@dataclass(frozen=True)
+class ServiceOptions:
+    """Frozen, hashable serving configuration (counterpart of
+    :class:`repro.api.FrameworkOptions` for the serving layer).
+
+    ``workers=0`` keeps everything in-process; ``cache_entries=0``
+    disables the feature cache.
+    """
+
+    cache_entries: int = 256
+    workers: int = 0
+    max_pending: int = 32
+    timeout_seconds: float = 30.0
+
+    def build(self, framework) -> "PredictionService":
+        """Construct a :class:`PredictionService` over a fitted framework."""
+        return PredictionService(framework, options=self)
+
+
+@dataclass
+class VerifiedPrediction:
+    """A prediction plus the measured outcome of actually compressing."""
+
+    prediction: Prediction
+    achieved_ratio: float
+
+    @property
+    def ratio_error(self) -> float:
+        """Relative deviation of achieved from requested ratio."""
+        t = self.prediction.target_ratio
+        return abs(self.achieved_ratio - t) / t if t else float("inf")
+
+
+def _extract_task(kind: str, stride: int | None, data: np.ndarray) -> np.ndarray:
+    """Worker-side feature extraction (module-level for pickling)."""
+    if kind == "fxrz":
+        return extract_features_serial(data, stride=stride)[0]
+    return extract_features_parallel(data)[0]
+
+
+def _verify_task(compressor: str, data: np.ndarray, error_bound: float) -> float:
+    """Worker-side compression-verification: the achieved ratio."""
+    return float(get_compressor(compressor).compression_ratio(data, error_bound))
+
+
+class PredictionService:
+    """Serve ``(field, target_ratio)`` queries over one fitted framework."""
+
+    def __init__(self, framework=None, *, options: ServiceOptions | None = None) -> None:
+        if framework is not None and framework.model.forest is None:
+            raise ValueError("framework is not fitted")
+        self.options = options or ServiceOptions()
+        self._framework = framework
+        self._registry: ModelRegistry | None = None
+        self._model_name: str | None = None
+        self.cache = LRUCache(self.options.cache_entries, name="serve.cache")
+        self.pool = WorkerPool(
+            self.options.workers,
+            max_pending=self.options.max_pending,
+            timeout=self.options.timeout_seconds,
+            name="serve.pool",
+        )
+        self.n_requests = 0
+        self.n_batches = 0
+
+    @classmethod
+    def from_registry(
+        cls,
+        registry: ModelRegistry,
+        name: str,
+        *,
+        options: ServiceOptions | None = None,
+    ) -> "PredictionService":
+        """A service that resolves ``name`` through ``registry`` per call,
+        inheriting the registry's lazy-load + hot-reload behaviour."""
+        resolved = registry.get(name)  # fail fast on unknown names
+        if resolved.model.forest is None:
+            raise ValueError(f"registered framework {name!r} is not fitted")
+        service = cls(options=options)
+        service._registry = registry
+        service._model_name = name
+        return service
+
+    @property
+    def framework(self):
+        """The framework answering requests (re-resolved when registry-backed)."""
+        if self._registry is not None:
+            return self._registry.get(self._model_name)
+        return self._framework
+
+    # -- request normalization -------------------------------------------------
+
+    @staticmethod
+    def _as_array(data) -> np.ndarray:
+        if hasattr(data, "data") and isinstance(data.data, np.ndarray):
+            data = data.data  # a repro.data.fields.Field
+        return as_float_array(data)
+
+    def _worker_extract_spec(self, framework) -> tuple[str, int | None] | None:
+        """Picklable extractor description, or None if only the framework
+        instance itself can extract (unknown subclass — stay in-process)."""
+        if type(framework) is FxrzFramework:
+            return ("fxrz", framework.feature_stride)
+        if type(framework) is CarolFramework:
+            return ("carol", None)
+        return None
+
+    # -- features --------------------------------------------------------------
+
+    def _features_for(self, framework, arr: np.ndarray) -> np.ndarray:
+        digest = digest_array(arr)
+        feats = self.cache.get(digest)
+        if feats is None:
+            feats = framework.extract_features(arr)
+            self.cache.put(digest, feats)
+        return feats
+
+    def _batch_features(
+        self, framework, arrays: list[np.ndarray], digests: list[str]
+    ) -> dict[str, np.ndarray]:
+        """Features per distinct digest, extracting each missing field once."""
+        by_digest: dict[str, np.ndarray] = {}
+        missing: list[tuple[str, np.ndarray]] = []
+        for arr, digest in zip(arrays, digests):
+            if digest in by_digest:
+                continue
+            feats = self.cache.get(digest)
+            if feats is None:
+                missing.append((digest, arr))
+                by_digest[digest] = None  # placeholder, filled below
+            else:
+                by_digest[digest] = feats
+        if not missing:
+            return by_digest
+        spec = self._worker_extract_spec(framework)
+        if self.options.workers > 0 and len(missing) > 1 and spec is not None:
+            kind, stride = spec
+            rows = self.pool.run_many(
+                _extract_task, [(kind, stride, arr) for _, arr in missing]
+            )
+        else:
+            rows = list(framework.extract_features_many([arr for _, arr in missing]))
+        for (digest, _), feats in zip(missing, rows):
+            feats = np.asarray(feats, dtype=np.float64)
+            by_digest[digest] = feats
+            self.cache.put(digest, feats)
+        return by_digest
+
+    # -- serving ---------------------------------------------------------------
+
+    def predict(self, data, target_ratio: float, *, safety: float = 0.0) -> Prediction:
+        """One request: the framework's prediction, through the feature cache."""
+        framework = self.framework
+        arr = self._as_array(data)
+        self.n_requests += 1
+        count("serve.requests")
+        feats = self._features_for(framework, arr)
+        return framework.predict_error_bound(
+            arr, target_ratio, safety=safety, features=feats
+        )
+
+    def predict_batch(
+        self, requests, *, safety: float = 0.0, verify: bool = False
+    ) -> list[Prediction] | list[VerifiedPrediction]:
+        """Serve ``[(field, target_ratio), ...]`` as one batch.
+
+        Feature extraction runs once per distinct field (cache-aware,
+        worker fan-out when enabled) and model inference runs on one
+        stacked feature matrix. With ``verify=True`` every prediction is
+        checked by actually compressing (fanned across workers) and
+        returned as :class:`VerifiedPrediction`.
+        """
+        framework = self.framework
+        pairs = [(self._as_array(d), float(r)) for d, r in requests]
+        self.n_requests += len(pairs)
+        self.n_batches += 1
+        count("serve.requests", len(pairs))
+        count("serve.batches")
+        observe("serve.batch.size", len(pairs))
+        if not pairs:
+            return []
+        with timed_span("serve.predict_batch", n_requests=len(pairs)):
+            digests = [digest_array(a) for a, _ in pairs]
+            by_digest = self._batch_features(framework, [a for a, _ in pairs], digests)
+            F = np.stack([by_digest[d] for d in digests])
+            ratios = np.array([r for _, r in pairs], dtype=np.float64)
+            ebs = framework.model.predict_error_bound_batch(F, ratios, safety=safety)
+            preds = [
+                Prediction(float(eb), float(r), F[i], 0.0, 0.0)
+                for i, (eb, r) in enumerate(zip(ebs, ratios))
+            ]
+            if not verify:
+                return preds
+            tasks = [
+                (framework.compressor_name, arr, pred.error_bound)
+                for (arr, _), pred in zip(pairs, preds)
+            ]
+            achieved = self.pool.run_many(_verify_task, tasks)
+        return [
+            VerifiedPrediction(prediction=p, achieved_ratio=float(a))
+            for p, a in zip(preds, achieved)
+        ]
+
+    def predict_targets(
+        self, data, target_ratios, *, safety: float = 0.0
+    ) -> BatchPrediction:
+        """Many targets on one field — the framework batch call, cached."""
+        framework = self.framework
+        arr = self._as_array(data)
+        ratios = np.asarray(target_ratios, dtype=np.float64).ravel()
+        self.n_requests += int(ratios.size)
+        count("serve.requests", int(ratios.size))
+        feats = self._features_for(framework, arr)
+        return framework.predict_error_bound_batch(
+            arr, ratios, safety=safety, features=feats
+        )
+
+    # -- lifecycle / introspection ---------------------------------------------
+
+    def stats(self) -> dict:
+        """Cumulative serving counters (always on, unlike obs metrics)."""
+        return {
+            "requests": self.n_requests,
+            "batches": self.n_batches,
+            "cache": self.cache.stats.as_dict(),
+            "pool": self.pool.stats.as_dict(),
+        }
+
+    def close(self) -> None:
+        self.pool.shutdown()
+
+    def __enter__(self) -> "PredictionService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -5,7 +5,17 @@ import dataclasses
 import numpy as np
 import pytest
 
-from repro.api import Carol, FrameworkOptions, Fxrz, load, save
+from repro.api import (
+    BatchPrediction,
+    Carol,
+    FrameworkOptions,
+    Fxrz,
+    ModelRegistry,
+    Service,
+    ServiceOptions,
+    load,
+    save,
+)
 
 SHAPE = (10, 14, 14)
 REL = np.geomspace(1e-3, 1e-1, 5)
@@ -34,6 +44,15 @@ class TestFacadeImports:
         assert repro.FrameworkOptions is FrameworkOptions
         assert repro.load is load
         assert repro.save is save
+
+    def test_serving_reexports(self):
+        import repro
+        from repro.serve import ModelRegistry as deep_reg
+        from repro.serve import PredictionService, ServiceOptions as deep_opts
+
+        assert repro.Service is Service is PredictionService
+        assert repro.ServiceOptions is ServiceOptions is deep_opts
+        assert repro.ModelRegistry is ModelRegistry is deep_reg
 
     def test_facade_is_the_framework(self):
         from repro.core.carol import CarolFramework
@@ -94,6 +113,39 @@ class TestFrameworkOptions:
     def test_default_grid_passthrough(self):
         assert FrameworkOptions().build("carol").rel_error_bounds is None
 
+    def test_to_kwargs_excludes_compressor_by_default(self):
+        opts = FrameworkOptions(compressor="zfp", n_iter=9)
+        kwargs = opts.to_kwargs()
+        assert "compressor" not in kwargs
+        assert kwargs["n_iter"] == 9
+        # the documented use: positional compressor + keyword config
+        fw = Carol(opts.compressor, **kwargs)
+        assert fw.compressor_name == "zfp" and fw.n_iter == 9
+
+    def test_to_kwargs_include_compressor(self):
+        kwargs = FrameworkOptions(compressor="zfp").to_kwargs(include_compressor=True)
+        assert kwargs["compressor"] == "zfp"
+        assert Carol(**kwargs).compressor_name == "zfp"
+
+    def test_from_framework_round_trip(self):
+        opts = FrameworkOptions(
+            compressor="szx",
+            rel_error_bounds=tuple(REL),
+            n_iter=3,
+            cv=2,
+            seed=7,
+            calibration_points=4,
+            model_kind="gbt",
+        )
+        for kind in ("carol", "fxrz"):
+            assert FrameworkOptions.from_framework(opts.build(kind)) == opts
+
+    def test_from_framework_default_grid(self):
+        fw = Fxrz(compressor="szx")
+        recovered = FrameworkOptions.from_framework(fw)
+        assert recovered.rel_error_bounds is None
+        assert recovered.build("fxrz").compressor_name == "szx"
+
 
 class TestSaveLoad:
     def test_roundtrip_via_facade(self, fitted, tmp_path, train_fields):
@@ -140,3 +192,40 @@ class TestInferenceSurface:
         assert rep.inference_seconds == pytest.approx(
             rep.feature_seconds + sum(p.inference_seconds for p in rep.predictions)
         )
+
+    def test_predict_error_bound_batch_surface(self, fitted, train_fields):
+        data = train_fields[0].data
+        batch = fitted.predict_error_bound_batch(data, [4.0, 8.0, 16.0])
+        assert isinstance(batch, BatchPrediction)
+        assert len(batch) == 3
+        assert [p.target_ratio for p in batch] == [4.0, 8.0, 16.0]
+        assert batch.error_bounds.shape == (3,)
+        assert batch.feature_seconds > 0
+
+    def test_batch_matches_sequential_bitwise(self, fitted, train_fields):
+        data = train_fields[0].data
+        ratios = [3.0, 7.0, 11.0, 29.0]
+        for safety in (0.0, 1.5):
+            batch = fitted.predict_error_bound_batch(data, ratios, safety=safety)
+            sequential = [
+                fitted.predict_error_bound(data, r, safety=safety).error_bound
+                for r in ratios
+            ]
+            assert batch.error_bounds.tolist() == sequential
+
+    def test_precomputed_features_skip_extraction(self, fitted, train_fields):
+        data = train_fields[0].data
+        feats = fitted.extract_features(data)
+        pred = fitted.predict_error_bound(data, 5.0, features=feats)
+        assert pred.feature_seconds == 0.0
+        assert pred.error_bound == fitted.predict_error_bound(data, 5.0).error_bound
+
+    def test_extract_features_many_matches_single(self, fitted, train_fields):
+        datas = [f.data for f in train_fields]
+        many = fitted.extract_features_many(datas)
+        for row, data in zip(many, datas):
+            np.testing.assert_array_equal(row, fitted.extract_features(data))
+
+    def test_batch_invalid_ratios_rejected(self, fitted, train_fields):
+        with pytest.raises(ValueError):
+            fitted.predict_error_bound_batch(train_fields[0].data, [4.0, -1.0])

@@ -15,6 +15,7 @@ class TestParser:
         sub = next(a for a in parser._actions if a.dest == "command")
         assert set(sub.choices) >= {
             "datasets", "estimate", "train", "predict", "compress", "bench",
+            "serve-bench",
         }
 
 
@@ -85,3 +86,30 @@ class TestBench:
         assert rc == 2
         err = capsys.readouterr().err
         assert "fig2_surrogate_curves" in err
+
+
+class TestServeBench:
+    def test_trains_and_benches(self, capsys):
+        rc = main([
+            "serve-bench", "--shape", "10", "12", "12", "--requests", "30",
+            "--fields", "3", "--batch", "8", "-n", "4", "--iters", "3",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert "bitwise-identical" in out
+        assert "hit rate" in out
+
+    def test_loads_saved_model(self, tmp_path, capsys):
+        path = tmp_path / "m.npz"
+        assert main([
+            "train", "--datasets", "miranda", "--shape", "10", "12", "12",
+            "--compressor", "szx", "--out", str(path), "-n", "4", "--iters", "3",
+        ]) == 0
+        capsys.readouterr()
+        rc = main([
+            "serve-bench", "--model", str(path), "--shape", "10", "12", "12",
+            "--requests", "20", "--fields", "2", "--batch", "5",
+        ])
+        assert rc == 0
+        assert "bitwise-identical" in capsys.readouterr().out

@@ -4,11 +4,17 @@ import numpy as np
 import pytest
 
 from repro import CarolFramework, FxrzFramework, load_dataset, load_field
+from repro.api import load, save
+from repro.ml.boosting import GradientBoostingRegressor
 from repro.ml.forest import RandomForestRegressor
+from repro.ml.knn import KNeighborsRegressor
+from repro.ml.models import MODEL_KINDS
 from repro.utils.serialization import (
     load_forest,
+    load_model,
     load_framework,
     save_forest,
+    save_model,
     save_framework,
 )
 
@@ -88,3 +94,79 @@ class TestFrameworkIO:
     def test_unfitted_framework_rejected(self, tmp_path):
         with pytest.raises(ValueError):
             save_framework(tmp_path / "x.npz", CarolFramework(compressor="szx"))
+
+
+class TestModelIO:
+    """save_model / load_model round-trip every supported model class."""
+
+    def test_gbt_round_trip(self, rng, tmp_path):
+        X = rng.random((50, 3))
+        y = X[:, 0] - 2 * X[:, 1]
+        gbt = GradientBoostingRegressor(n_estimators=5, random_state=0).fit(X, y)
+        loaded, extra = load_model(save_model(tmp_path / "g.npz", gbt, {"k": 1}))
+        assert isinstance(loaded, GradientBoostingRegressor)
+        assert extra == {"k": 1}
+        assert loaded.base_value == gbt.base_value
+        np.testing.assert_array_equal(loaded.predict(X), gbt.predict(X))
+
+    def test_knn_round_trip(self, rng, tmp_path):
+        X = rng.random((40, 4))
+        y = X.sum(axis=1)
+        knn = KNeighborsRegressor(n_neighbors=3).fit(X, y)
+        loaded, _ = load_model(save_model(tmp_path / "k.npz", knn))
+        assert isinstance(loaded, KNeighborsRegressor)
+        np.testing.assert_array_equal(loaded.predict(X), knn.predict(X))
+
+    def test_unfitted_models_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_model(tmp_path / "g.npz", GradientBoostingRegressor())
+        with pytest.raises(ValueError):
+            save_model(tmp_path / "k.npz", KNeighborsRegressor())
+
+    def test_unsupported_type_rejected(self, tmp_path):
+        with pytest.raises(TypeError):
+            save_model(tmp_path / "x.npz", object())
+
+    def test_load_forest_rejects_other_kinds(self, rng, tmp_path):
+        X = rng.random((30, 2))
+        gbt = GradientBoostingRegressor(n_estimators=2, random_state=0).fit(
+            X, X[:, 0]
+        )
+        path = save_model(tmp_path / "g.npz", gbt)
+        with pytest.raises(ValueError, match="not a forest"):
+            load_forest(path)
+
+
+class TestAllModelKindsRoundTrip:
+    """api.save / api.load across every model_kind x both frameworks.
+
+    The registry (and hence the serving layer) must be able to host any
+    trained configuration; a loaded framework must predict identically.
+    """
+
+    @pytest.fixture(scope="class")
+    def fields(self):
+        return load_dataset("miranda", shape=(10, 12, 12))[:2]
+
+    @pytest.mark.parametrize("kind", MODEL_KINDS)
+    @pytest.mark.parametrize("cls", [CarolFramework, FxrzFramework])
+    def test_round_trip_identical_predictions(self, cls, kind, fields, tmp_path):
+        fw = cls(
+            compressor="szx",
+            rel_error_bounds=REL,
+            n_iter=2,
+            cv=2,
+            model_kind=kind,
+        )
+        fw.fit(fields)
+        loaded = load(save(tmp_path / f"{cls.__name__}-{kind}.npz", fw))
+        assert loaded.name == fw.name
+        assert loaded.model_kind == kind
+        probe = load_field("miranda/density", shape=(10, 12, 12), seed=3)
+        for ratio in (3.0, 8.0, 20.0):
+            a = fw.predict_error_bound(probe.data, ratio)
+            b = loaded.predict_error_bound(probe.data, ratio)
+            assert a.error_bound == b.error_bound
+        batch_a = fw.predict_error_bound_batch(probe.data, [4.0, 9.0])
+        batch_b = loaded.predict_error_bound_batch(probe.data, [4.0, 9.0])
+        np.testing.assert_array_equal(batch_a.error_bounds, batch_b.error_bounds)

@@ -1,0 +1,332 @@
+"""The repro.serve serving layer: cache, pool, registry, service."""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro import load_dataset
+from repro.api import Carol, Fxrz, Service, ServiceOptions, save
+from repro.serve import (
+    LRUCache,
+    ModelRegistry,
+    PredictionService,
+    VerifiedPrediction,
+    WorkerPool,
+    digest_array,
+)
+
+SHAPE = (10, 14, 14)
+REL = np.geomspace(1e-3, 1e-1, 5)
+
+
+@pytest.fixture(scope="module")
+def train_fields():
+    return load_dataset("miranda", shape=SHAPE)[:3]
+
+
+@pytest.fixture(scope="module")
+def fitted(train_fields):
+    fw = Carol(compressor="szx", rel_error_bounds=REL, n_iter=3, cv=2)
+    fw.fit(train_fields)
+    return fw
+
+
+class TestDigest:
+    def test_equal_arrays_equal_digest(self, rng):
+        a = rng.random((6, 7))
+        assert digest_array(a) == digest_array(a.copy())
+
+    def test_one_element_changes_digest(self, rng):
+        a = rng.random((6, 7))
+        b = a.copy()
+        b[3, 3] += 1e-9
+        assert digest_array(a) != digest_array(b)
+
+    def test_shape_matters(self):
+        a = np.arange(12.0)
+        assert digest_array(a) != digest_array(a.reshape(3, 4))
+
+    def test_noncontiguous_view_equals_copy(self, rng):
+        a = rng.random((10, 10))
+        view = a[::2, ::2]
+        assert digest_array(view) == digest_array(view.copy())
+
+
+class TestLRUCache:
+    def test_hit_miss_counters(self):
+        cache = LRUCache(max_entries=4)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_lru_eviction_order(self):
+        cache = LRUCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh "a"; "b" is now least recent
+        cache.put("c", 3)
+        assert "a" in cache and "c" in cache
+        assert "b" not in cache
+        assert cache.stats.evictions == 1
+
+    def test_zero_entries_disables(self):
+        cache = LRUCache(max_entries=0)
+        cache.put("a", 1)
+        assert cache.get("a") is None
+        assert len(cache) == 0
+
+    def test_clear(self):
+        cache = LRUCache(max_entries=4)
+        cache.put("a", 1)
+        cache.clear()
+        assert len(cache) == 0
+
+
+def _square(x):
+    return x * x
+
+
+def _slow(x, delay):
+    time.sleep(delay)
+    return x
+
+
+def _die_unless_pid(main_pid, x):
+    if os.getpid() != main_pid:
+        os._exit(13)
+    return x
+
+
+class TestWorkerPool:
+    def test_in_process_mode(self):
+        pool = WorkerPool(0)
+        assert pool.run_many(_square, [(i,) for i in range(5)]) == [0, 1, 4, 9, 16]
+        assert pool.stats.completed == 5
+        assert pool.stats.fallbacks == 0
+
+    def test_order_preserved_across_workers(self):
+        with WorkerPool(2, max_pending=3) as pool:
+            out = pool.run_many(_square, [(i,) for i in range(8)])
+        assert out == [i * i for i in range(8)]
+
+    def test_single_task_runs_inline(self):
+        pool = WorkerPool(2)
+        assert pool.run(_square, 7) == 49
+        assert pool._executor is None  # no worker was ever spawned
+
+    def test_timeout_falls_back_in_process(self):
+        with WorkerPool(2, timeout=0.2) as pool:
+            out = pool.run_many(_slow, [(1, 0.0), (2, 5.0), (3, 0.0)])
+        assert out == [1, 2, 3]
+        assert pool.stats.timeouts == 1
+        assert pool.stats.fallbacks == 1
+
+    def test_dead_worker_falls_back_in_process(self):
+        with WorkerPool(2) as pool:
+            out = pool.run_many(_die_unless_pid, [(os.getpid(), i) for i in range(4)])
+            assert out == [0, 1, 2, 3]
+            assert pool.stats.fallbacks >= 1
+            # the pool recycled its executor and keeps serving
+            assert pool.run_many(_square, [(2,), (3,)]) == [4, 9]
+
+    def test_task_exceptions_propagate(self):
+        with WorkerPool(2) as pool:
+            with pytest.raises(TypeError):
+                pool.run_many(_square, [(1,), ("nope", 2)])
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            WorkerPool(-1)
+        with pytest.raises(ValueError):
+            WorkerPool(1, max_pending=0)
+
+
+class TestModelRegistry:
+    def test_lazy_load_and_get(self, fitted, tmp_path):
+        path = save(tmp_path / "m.npz", fitted)
+        reg = ModelRegistry()
+        reg.register("carol-prod", path)
+        assert "carol-prod" in reg
+        fw = reg.get("carol-prod")
+        assert fw.name == "carol"
+        assert reg.get("carol-prod") is fw  # cached, not reloaded
+
+    def test_unknown_name(self):
+        reg = ModelRegistry()
+        with pytest.raises(KeyError, match="unknown model"):
+            reg.get("nope")
+
+    def test_missing_file_rejected_eagerly(self, tmp_path):
+        reg = ModelRegistry()
+        with pytest.raises(FileNotFoundError):
+            reg.register("m", tmp_path / "missing.npz")
+
+    def test_hot_reload_on_mtime_change(self, fitted, tmp_path):
+        path = save(tmp_path / "m.npz", fitted)
+        reg = ModelRegistry()
+        reg.register("m", path)
+        first = reg.get("m")
+        os.utime(path, (time.time() + 5, time.time() + 5))
+        second = reg.get("m")
+        assert second is not first
+
+    def test_in_memory_add(self, fitted):
+        reg = ModelRegistry()
+        reg.add("mem", fitted)
+        assert reg.get("mem") is fitted
+        assert reg.reload("mem") is fitted
+
+    def test_unregister(self, fitted):
+        reg = ModelRegistry()
+        reg.add("mem", fitted)
+        reg.unregister("mem")
+        assert "mem" not in reg
+
+
+class TestPredictionService:
+    def test_facade_alias(self):
+        assert Service is PredictionService
+
+    def test_unfitted_framework_rejected(self):
+        with pytest.raises(ValueError, match="not fitted"):
+            Service(Carol(compressor="szx"))
+
+    def test_predict_matches_framework(self, fitted, train_fields):
+        with Service(fitted) as svc:
+            data = train_fields[0].data
+            direct = fitted.predict_error_bound(data, 8.0, safety=1.0)
+            served = svc.predict(data, 8.0, safety=1.0)
+            assert served.error_bound == direct.error_bound
+
+    def test_predict_batch_bitwise_identical_to_sequential(self, fitted, train_fields):
+        requests = [
+            (train_fields[i % len(train_fields)].data, 3.0 + 2.0 * i) for i in range(9)
+        ]
+        sequential = [
+            fitted.predict_error_bound(d, r).error_bound for d, r in requests
+        ]
+        with Service(fitted) as svc:
+            batched = svc.predict_batch(requests)
+        assert [p.error_bound for p in batched] == sequential
+
+    def test_batch_with_safety_identical(self, fitted, train_fields):
+        requests = [(train_fields[0].data, r) for r in (4.0, 9.0, 17.0)]
+        sequential = [
+            fitted.predict_error_bound(d, r, safety=1.5).error_bound
+            for d, r in requests
+        ]
+        with Service(fitted) as svc:
+            batched = svc.predict_batch(requests, safety=1.5)
+        assert [p.error_bound for p in batched] == sequential
+
+    def test_repeated_fields_hit_cache(self, fitted, train_fields):
+        data = train_fields[0].data
+        with Service(fitted) as svc:
+            svc.predict(data, 4.0)
+            svc.predict(data, 8.0)
+            svc.predict_batch([(data, 5.0), (data, 6.0)])
+            stats = svc.stats()
+        assert stats["cache"]["misses"] == 1
+        assert stats["cache"]["hits"] >= 2
+        assert stats["requests"] == 4
+
+    def test_field_objects_accepted(self, fitted, train_fields):
+        with Service(fitted) as svc:
+            pred = svc.predict(train_fields[0], 6.0)
+            assert pred.error_bound > 0
+
+    def test_empty_batch(self, fitted):
+        with Service(fitted) as svc:
+            assert svc.predict_batch([]) == []
+
+    def test_predict_targets_single_extraction(self, fitted, train_fields):
+        data = train_fields[0].data
+        with Service(fitted) as svc:
+            batch = svc.predict_targets(data, [4.0, 8.0, 16.0])
+            assert len(batch) == 3
+            again = svc.predict_targets(data, [4.0, 8.0, 16.0])
+            stats = svc.stats()
+        assert stats["cache"]["misses"] == 1
+        assert batch.error_bounds.tolist() == again.error_bounds.tolist()
+
+    def test_verify_reports_achieved_ratio(self, fitted, train_fields):
+        with Service(fitted) as svc:
+            out = svc.predict_batch(
+                [(train_fields[0].data, 5.0), (train_fields[1].data, 10.0)],
+                verify=True,
+            )
+        assert all(isinstance(v, VerifiedPrediction) for v in out)
+        assert all(v.achieved_ratio > 0 for v in out)
+        assert out[0].ratio_error >= 0.0
+
+    def test_worker_backend_identical_results(self, fitted, train_fields):
+        requests = [(f.data, 6.0) for f in train_fields] + [
+            (train_fields[0].data, 12.0)
+        ]
+        sequential = [
+            fitted.predict_error_bound(d, r).error_bound for d, r in requests
+        ]
+        opts = ServiceOptions(cache_entries=8, workers=2, timeout_seconds=60.0)
+        with Service(fitted, options=opts) as svc:
+            batched = svc.predict_batch(requests)
+            stats = svc.stats()
+        assert [p.error_bound for p in batched] == sequential
+        assert stats["pool"]["fallbacks"] == 0
+
+    def test_fxrz_service(self, train_fields):
+        fw = Fxrz(compressor="szx", rel_error_bounds=REL, n_iter=2, cv=2)
+        fw.fit(train_fields[:2])
+        requests = [(train_fields[0].data, 4.0), (train_fields[1].data, 8.0)]
+        sequential = [
+            fw.predict_error_bound(d, r).error_bound for d, r in requests
+        ]
+        with Service(fw) as svc:
+            batched = svc.predict_batch(requests)
+        assert [p.error_bound for p in batched] == sequential
+
+    def test_cache_disabled_still_correct(self, fitted, train_fields):
+        data = train_fields[0].data
+        direct = fitted.predict_error_bound(data, 7.0).error_bound
+        with Service(fitted, options=ServiceOptions(cache_entries=0)) as svc:
+            assert svc.predict(data, 7.0).error_bound == direct
+            assert svc.predict(data, 7.0).error_bound == direct
+            assert svc.stats()["cache"]["hits"] == 0
+
+
+class TestServiceOptions:
+    def test_frozen_and_hashable(self):
+        opts = ServiceOptions(cache_entries=16, workers=1)
+        assert opts == ServiceOptions(cache_entries=16, workers=1)
+        assert hash(opts) == hash(ServiceOptions(cache_entries=16, workers=1))
+        with pytest.raises(Exception):
+            opts.workers = 2
+
+    def test_build(self, fitted):
+        svc = ServiceOptions(cache_entries=4).build(fitted)
+        assert isinstance(svc, PredictionService)
+        assert svc.cache.max_entries == 4
+        svc.close()
+
+
+class TestServiceFromRegistry:
+    def test_serves_and_hot_reloads(self, fitted, tmp_path, train_fields):
+        path = save(tmp_path / "m.npz", fitted)
+        reg = ModelRegistry()
+        reg.register("prod", path)
+        with Service.from_registry(reg, "prod") as svc:
+            data = train_fields[0].data
+            eb = svc.predict(data, 6.0).error_bound
+            assert eb == fitted.predict_error_bound(data, 6.0).error_bound
+            first_fw = svc.framework
+            os.utime(path, (time.time() + 5, time.time() + 5))
+            svc.predict(data, 6.0)
+            assert svc.framework is not first_fw
+
+    def test_unknown_name_fails_fast(self):
+        with pytest.raises(KeyError):
+            Service.from_registry(ModelRegistry(), "nope")
