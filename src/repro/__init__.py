@@ -21,6 +21,10 @@ Main entry points:
 - :mod:`repro.serve` — the serving layer (:class:`Service`,
   :class:`ServiceOptions`, :class:`ModelRegistry`): batched, cached,
   optionally multi-process prediction over a fitted framework;
+- :mod:`repro.store` — the chunked compressed array store
+  (:class:`Store`, :class:`StoreOptions`): single-file ``.rps``
+  containers with closed-loop byte budgeting and random-access reads
+  (``python -m repro store-pack / store-info / store-unpack``);
 - :class:`CarolFramework` / :class:`FxrzFramework` — the ratio-controlled
   frameworks (paper contribution / baseline);
 - :func:`get_compressor` — the four error-bounded compressors
@@ -39,6 +43,8 @@ from repro.api import (
     ModelRegistry,
     Service,
     ServiceOptions,
+    Store,
+    StoreOptions,
     load,
     save,
 )
@@ -77,6 +83,8 @@ __all__ = [
     "Service",
     "ServiceOptions",
     "ModelRegistry",
+    "Store",
+    "StoreOptions",
     "load",
     "save",
     "obs",

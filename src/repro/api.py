@@ -12,6 +12,10 @@ The recommended entry point for applications::
     service = Service(carol)                   # batched + cached serving
     preds = service.predict_batch([(field.data, 16.0), (field.data, 32.0)])
 
+    Store.pack("field.rps", field, carol, target_ratio=16.0)
+    with Store("field.rps") as st:             # chunked random-access reads
+        sub = st[4:12, :, 20:40]
+
 Everything here is a thin, renamed view over the library internals —
 :class:`Carol` *is* :class:`repro.core.carol.CarolFramework` and
 :class:`Service` *is* :class:`repro.serve.PredictionService` — so code
@@ -49,6 +53,7 @@ from repro.core.framework import (
 from repro.core.fxrz import FxrzFramework
 from repro.serve.registry import ModelRegistry
 from repro.serve.service import PredictionService, ServiceOptions, VerifiedPrediction
+from repro.store import PackReport, Store, StoreOptions
 from repro.utils.serialization import load_framework, save_framework
 
 #: Facade aliases — ``Carol`` is ``CarolFramework``, nothing in between.
@@ -149,6 +154,9 @@ __all__ = [
     "ServiceOptions",
     "ModelRegistry",
     "VerifiedPrediction",
+    "Store",
+    "StoreOptions",
+    "PackReport",
     "load",
     "save",
     "RatioControlledFramework",

@@ -88,7 +88,9 @@ def fig3_calibration_curves(scale: BenchScale) -> str:
         ebs = scale.rel_ebs() * field.value_range
         true, _ = true_curve(field, "sperr", ebs)
         est, _ = get_surrogate("sperr").estimate_curve(field.data, ebs)
-        cal, info = Calibrator(n_points=4).calibrate_curve(field.data, ebs, est, get_compressor("sperr"))
+        cal, info = Calibrator(n_points=4).calibrate_curve(
+            field.data, ebs, est, get_compressor("sperr")
+        )
         before = signed_estimation_errors(true, est)
         after = signed_estimation_errors(true, cal)
         rows.append(
@@ -213,7 +215,8 @@ def tab5_calibration(scale: BenchScale) -> str:
     blocks = []
     for name in ("sz3", "sperr"):
         rows = []
-        agg = {k: [] for k in ("s0", "a0", *[f"s{k}" for k in point_counts], *[f"a{k}" for k in point_counts])}
+        keys = ("s0", "a0", *[f"s{k}" for k in point_counts], *[f"a{k}" for k in point_counts])
+        agg = {k: [] for k in keys}
         for ds in datasets:
             field = load_dataset(ds, **scale.dataset_kwargs(ds))[0]
             ebs = scale.rel_ebs() * field.value_range
@@ -277,7 +280,9 @@ def ablation_sampling(scale: BenchScale) -> str:
     true_sz3, _ = true_curve(field, "sz3", ebs)
     for stride in (3, 5, 8):
         est, t = SZ3Surrogate(stride=stride).estimate_curve(field.data, ebs)
-        rows.append(["sz3", f"1/{stride} per dim", float(estimation_error(true_sz3, est)), float(t)])
+        rows.append(
+            ["sz3", f"1/{stride} per dim", float(estimation_error(true_sz3, est)), float(t)]
+        )
     return format_table(
         f"Ablation — surrogate sampling rate vs accuracy [scale={scale.name}]",
         ["codec", "sampling", "alpha%", "t_est(s)"],

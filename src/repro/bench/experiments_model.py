@@ -331,7 +331,11 @@ def fig6_feature_extraction(scale: BenchScale) -> str:
     for name in ("szx", "sz3", "sperr"):
         res = get_compressor(name).compress(ref.data, eb)
         rows.append(
-            [f"{name} compression (scaled est.)", float(res.elapsed * 1000 * volume_factor), "extrapolated"]
+            [
+                f"{name} compression (scaled est.)",
+                float(res.elapsed * 1000 * volume_factor),
+                "extrapolated",
+            ]
         )
     return format_table(
         f"Figure 6 — feature extraction vs compression time on NYX "

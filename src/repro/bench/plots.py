@@ -78,7 +78,9 @@ def ascii_plot(
     right = f"{10**x_hi if logx else x_hi:.3g}"
     lines.append(" " * 9 + " " + "-" * (width + 2))
     lines.append(" " * 10 + left + " " * max(width - len(left) - len(right), 1) + right)
-    lines.append(" " * 10 + f"x: {xlabel}{'  [log]' if logx else ''}   y: {ylabel}{'  [log]' if logy else ''}")
+    xs = f"x: {xlabel}{'  [log]' if logx else ''}"
+    ys = f"y: {ylabel}{'  [log]' if logy else ''}"
+    lines.append(" " * 10 + xs + "   " + ys)
     legend = "   ".join(
         f"{_MARKERS[i % len(_MARKERS)]} {label}" for i, label in enumerate(series)
     )

@@ -241,6 +241,121 @@ def cmd_serve_bench(args) -> int:
     return 0 if ok else 1
 
 
+def _store_source(args):
+    """Resolve a store-pack source: an on-disk raw file (memmapped) or a
+    synthetic ``dataset/field`` path."""
+    from pathlib import Path
+
+    from repro.store import open_raw
+
+    if Path(args.source).exists():
+        if not args.shape:
+            raise SystemExit("store-pack: --shape is required for raw file sources")
+        return open_raw(args.source, tuple(args.shape), dtype=args.dtype)
+    kwargs = {}
+    if args.shape:
+        kwargs["shape"] = tuple(args.shape)
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    return load_field(args.source, **kwargs).data
+
+
+def cmd_store_pack(args) -> int:
+    from repro.store import StoreOptions, pack
+
+    fw = load_framework(args.model)
+    source = _store_source(args)
+    options = StoreOptions(
+        chunk_shape=tuple(args.chunk) if args.chunk else None,
+        chunk_elements=args.chunk_elements,
+        closed_loop=not args.open_loop,
+        safety=args.safety,
+    )
+    report = pack(args.out, source, fw, args.ratio, options=options)
+    print(report.summary())
+    worst = max(
+        report.chunks, key=lambda c: abs(c.achieved_ratio - c.target_ratio) / c.target_ratio
+    )
+    print(
+        f"chunks: {report.n_chunks} x {options.grid_for(source.shape).chunk_shape}, "
+        f"worst chunk {worst.coords} achieved {worst.achieved_ratio:.2f} "
+        f"(target {worst.target_ratio:.2f})"
+    )
+    return 0
+
+
+def cmd_store_info(args) -> int:
+    from repro.store import Store
+
+    with Store(args.store, verify=False) as st:
+        info = st.info()
+        for key in (
+            "path", "shape", "dtype", "compressor", "chunk_shape", "grid_shape",
+            "n_chunks", "original_bytes", "stored_bytes", "target_ratio",
+            "achieved_ratio", "closed_loop",
+        ):
+            value = info[key]
+            if isinstance(value, float):
+                value = f"{value:.3f}"
+            print(f"{key:<16} {value}")
+        print(
+            f"{'error_bound':<16} [{info['error_bound_min']:.6g}, {info['error_bound_max']:.6g}]"
+        )
+        print(
+            f"{'chunk_ratio':<16} [{info['chunk_ratio_min']:.3f}, {info['chunk_ratio_max']:.3f}]"
+        )
+        if args.chunks:
+            print(f"{'coords':<14} {'offset':>10} {'nbytes':>9} {'error_bound':>13} "
+                  f"{'target':>8} {'achieved':>9}")
+            for entry in st.manifest["chunks"]:
+                print(
+                    f"{str(tuple(entry['coords'])):<14} {entry['offset']:>10} "
+                    f"{entry['nbytes']:>9} {entry['error_bound']:>13.6g} "
+                    f"{entry['target_ratio']:>8.2f} {entry['achieved_ratio']:>9.2f}"
+                )
+    return 0
+
+
+def cmd_store_unpack(args) -> int:
+    from repro.store import Store
+
+    with Store(args.store) as st:
+        data = st.read()  # verifies every chunk checksum on the way
+        print(
+            f"unpacked {st.path.name}: shape {st.shape}, dtype {st.dtype}, "
+            f"{st.n_chunks} chunks, achieved ratio {st.achieved_ratio:.2f}"
+        )
+        if args.out:
+            from repro.data.fields import Field
+            from repro.data.io import save_raw
+
+            out = save_raw(Field("store", "unpacked", data), args.out)
+            print(f"raw field written to {out}")
+        if args.verify_against:
+            original = np.fromfile(args.verify_against, dtype=st.dtype).reshape(st.shape)
+            worst_excess = 0.0
+            for entry in st.manifest["chunks"]:
+                chunk = st.grid.chunk_at(tuple(entry["coords"]))
+                err = float(
+                    np.max(
+                        np.abs(
+                            data[chunk.slices].astype(np.float64)
+                            - original[chunk.slices].astype(np.float64)
+                        )
+                    )
+                )
+                bound = float(entry["error_bound"]) * (1.0 + 1e-9)
+                worst_excess = max(worst_excess, err - bound)
+                if err > bound:
+                    print(
+                        f"FAIL: chunk {tuple(entry['coords'])} error {err:.6g} exceeds "
+                        f"bound {entry['error_bound']:.6g}"
+                    )
+                    return 1
+            print("round-trip error within every chunk's recorded bound")
+    return 0
+
+
 def cmd_trace_summary(args) -> int:
     try:
         payload = obs.load_trace(args.trace_file)
@@ -344,6 +459,45 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     _add_trace_arg(p)
     p.set_defaults(func=cmd_serve_bench)
+
+    p = sub.add_parser(
+        "store-pack",
+        help="pack a field into a chunked .rps store under a byte budget",
+    )
+    p.add_argument("source", help="raw file path (with --shape) or synthetic dataset/field")
+    p.add_argument("--model", required=True, help="saved .npz framework")
+    p.add_argument("--ratio", type=float, required=True, help="whole-store target ratio")
+    p.add_argument("--out", required=True, help="output .rps path")
+    p.add_argument("--shape", type=int, nargs="+", default=None,
+                   help="grid shape (required for raw file sources)")
+    p.add_argument("--dtype", default="float32", help="raw source dtype")
+    p.add_argument("--seed", type=int, default=None, help="synthetic dataset seed")
+    p.add_argument("--chunk", type=int, nargs="+", default=None, help="chunk shape")
+    p.add_argument("--chunk-elements", type=int, default=32768,
+                   help="target elements per chunk when --chunk is omitted")
+    p.add_argument("--open-loop", action="store_true",
+                   help="disable closed-loop budget redistribution")
+    p.add_argument("--safety", type=float, default=0.0,
+                   help="prediction bias toward overshooting each chunk's ratio")
+    _add_trace_arg(p)
+    p.set_defaults(func=cmd_store_pack)
+
+    p = sub.add_parser("store-info", help="print a store's manifest summary")
+    p.add_argument("store", help=".rps path")
+    p.add_argument("--chunks", action="store_true", help="also list every chunk")
+    p.set_defaults(func=cmd_store_info)
+
+    p = sub.add_parser(
+        "store-unpack",
+        help="decompress a .rps store (verifying checksums) back to a raw field",
+    )
+    p.add_argument("store", help=".rps path")
+    p.add_argument("--out", default=None, help="write the raw binary field here")
+    p.add_argument("--verify-against", default=None, metavar="RAW",
+                   help="raw original; exit non-zero unless every element is "
+                        "within its chunk's recorded error bound")
+    _add_trace_arg(p)
+    p.set_defaults(func=cmd_store_unpack)
 
     p = sub.add_parser("trace-summary",
                        help="print a per-stage table from a --trace JSON")

@@ -113,7 +113,9 @@ class LossyCompressor(abc.ABC):
         """Convenience: ratio only (the quantity f(e) in the paper)."""
         return self.compress(data, error_bound).ratio
 
-    def roundtrip(self, data: np.ndarray, error_bound: float) -> tuple[np.ndarray, CompressionResult]:
+    def roundtrip(
+        self, data: np.ndarray, error_bound: float
+    ) -> tuple[np.ndarray, CompressionResult]:
         res = self.compress(data, error_bound)
         return self.decompress(res), res
 

@@ -53,7 +53,9 @@ def _build_pyramid(mag: np.ndarray) -> list[np.ndarray]:
     return levels
 
 
-def _children(indices: np.ndarray, shape_child: tuple[int, ...], shape_parent: tuple[int, ...]) -> np.ndarray:
+def _children(
+    indices: np.ndarray, shape_child: tuple[int, ...], shape_parent: tuple[int, ...]
+) -> np.ndarray:
     """Flat child indices (level k-1) of flat parent indices (level k)."""
     coords = np.unravel_index(indices, shape_parent)
     child_coords = []

@@ -149,7 +149,8 @@ class SPERRCompressor(LossyCompressor):
         nbits_idx = max(int(data.size - 1).bit_length(), 1)
         head.write_elias_gamma(int(idxs.size) + 1)
         head.write_uint_array(idxs.astype(np.uint64), nbits_idx)
-        head.write_uint_array((corr + _CORR_MAX + 1).clip(0, 2 * _CORR_MAX + 1).astype(np.uint64), _CORR_BITS)
+        clipped = (corr + _CORR_MAX + 1).clip(0, 2 * _CORR_MAX + 1)
+        head.write_uint_array(clipped.astype(np.uint64), _CORR_BITS)
         head.write_bit_array(exact_mask)
         head.write_uint_array(exact_vals.view(np.uint64), 64)
         head_bytes = head.getvalue()

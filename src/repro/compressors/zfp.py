@@ -59,7 +59,9 @@ def _blockize(data: np.ndarray) -> tuple[np.ndarray, tuple[int, ...]]:
     return arr.reshape((-1,) + (4,) * d), padded.shape
 
 
-def _unblockize(blocks: np.ndarray, padded_shape: tuple[int, ...], shape: tuple[int, ...]) -> np.ndarray:
+def _unblockize(
+    blocks: np.ndarray, padded_shape: tuple[int, ...], shape: tuple[int, ...]
+) -> np.ndarray:
     d = len(shape)
     grid = tuple(s // 4 for s in padded_shape)
     arr = blocks.reshape(grid + (4,) * d)

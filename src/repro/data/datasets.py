@@ -50,13 +50,21 @@ def miranda(shape: tuple[int, ...] = (48, 64, 64), seed: int = 7) -> list[Field]
     # Mixing interface along axis 0, as in the Rayleigh-Taylor setup.
     interface = np.tanh(6.0 * (mesh[0] - 0.5) + gaussian_random_field(shape, -3.0, rng))
     fields = [
-        _mk("miranda", "density", 1.0 + 0.8 * interface + 0.05 * gaussian_random_field(shape, -3.2, rng)),
+        _mk(
+            "miranda",
+            "density",
+            1.0 + 0.8 * interface + 0.05 * gaussian_random_field(shape, -3.2, rng),
+        ),
         _mk("miranda", "diffusivity", np.exp(0.4 * gaussian_random_field(shape, -4.0, rng))),
         _mk("miranda", "pressure", 10.0 + 2.0 * gaussian_random_field(shape, -3.6, rng)),
         _mk("miranda", "velocityx", gaussian_random_field(shape, -5.0 / 3.0 - 2.0, rng)),
         _mk("miranda", "velocityy", gaussian_random_field(shape, -5.0 / 3.0 - 2.0, rng)),
         _mk("miranda", "velocityz", gaussian_random_field(shape, -5.0 / 3.0 - 2.0, rng)),
-        _mk("miranda", "viscosity", np.exp(0.3 * gaussian_random_field(shape, -3.8, rng)) * (1.2 + interface)),
+        _mk(
+            "miranda",
+            "viscosity",
+            np.exp(0.3 * gaussian_random_field(shape, -3.8, rng)) * (1.2 + interface),
+        ),
     ]
     return fields
 
@@ -98,12 +106,29 @@ def cesm(shape: tuple[int, ...] = (180, 360), seed: int = 13) -> list[Field]:
     zonal = np.cos(lat) ** 2 * np.ones((1, shape[1]))
     aniso = (1.0, 3.0)  # smoother east-west than north-south
     return [
-        _mk("cesm", "ts", 220.0 + 80.0 * zonal + 5.0 * gaussian_random_field(shape, -3.4, rng, anisotropy=aniso)),
+        _mk(
+            "cesm",
+            "ts",
+            220.0 + 80.0 * zonal + 5.0 * gaussian_random_field(shape, -3.4, rng, anisotropy=aniso),
+        ),
         _mk("cesm", "psl", 1e5 + 2e3 * gaussian_random_field(shape, -3.8, rng, anisotropy=aniso)),
         _mk("cesm", "precip", np.maximum(lognormal_field(shape, -2.4, 1.2, rng) * zonal, 0.0)),
-        _mk("cesm", "u850", 15.0 * zonal * np.sin(3 * lat) + 4.0 * gaussian_random_field(shape, -2.9, rng, anisotropy=aniso)),
-        _mk("cesm", "cloud", np.clip(0.5 + 0.4 * gaussian_random_field(shape, -2.6, rng), 0.0, 1.0)),
-        _mk("cesm", "q", np.exp(-4.0 + 2.0 * zonal + 0.5 * gaussian_random_field(shape, -3.1, rng))),
+        _mk(
+            "cesm",
+            "u850",
+            15.0 * zonal * np.sin(3 * lat)
+            + 4.0 * gaussian_random_field(shape, -2.9, rng, anisotropy=aniso),
+        ),
+        _mk(
+            "cesm",
+            "cloud",
+            np.clip(0.5 + 0.4 * gaussian_random_field(shape, -2.6, rng), 0.0, 1.0),
+        ),
+        _mk(
+            "cesm",
+            "q",
+            np.exp(-4.0 + 2.0 * zonal + 0.5 * gaussian_random_field(shape, -3.1, rng)),
+        ),
     ]
 
 
@@ -138,7 +163,8 @@ def hurricane(
         if name in ("u", "v"):
             data = 30.0 * vortex * (1 if name == "u" else -1) + 5.0 * background
         elif name == "p":
-            data = 1e5 - 5e3 * strength * np.exp(-((vortex / vortex.max()) ** 2)) + 300.0 * background
+            peak = np.exp(-((vortex / vortex.max()) ** 2))
+            data = 1e5 - 5e3 * strength * peak + 300.0 * background
         elif name.startswith("q") or name in ("vapor", "precip"):
             data = np.maximum(np.exp(0.8 * background) * (0.2 + vortex), 0.0) * 1e-3
         else:
@@ -164,7 +190,9 @@ def duct(shape: tuple[int, ...] = (24, 48, 96), seed: int = 29) -> list[Field]:
     rng = np.random.default_rng(seed)
     mesh, _ = radial_coords(shape)
     profile = 4.0 * mesh[0] * (1.0 - mesh[0])  # parabolic channel profile
-    turb = gaussian_random_field(shape, slope=-5.0 / 3.0 - 2.0, seed=rng, anisotropy=(1.0, 1.0, 0.4))
+    turb = gaussian_random_field(
+        shape, slope=-5.0 / 3.0 - 2.0, seed=rng, anisotropy=(1.0, 1.0, 0.4)
+    )
     return [_mk("duct", "velocity_magnitude", 10.0 * profile + 2.0 * turb * profile)]
 
 

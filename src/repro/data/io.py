@@ -10,6 +10,8 @@ interoperability with the reference compressors' CLIs.
 
 from __future__ import annotations
 
+import os
+import tempfile
 from pathlib import Path
 
 import numpy as np
@@ -23,13 +25,24 @@ def load_raw(
     dtype: str | np.dtype = np.float32,
     dataset: str | None = None,
     name: str | None = None,
+    on_nonfinite: str = "raise",
 ) -> Field:
     """Load a headerless binary field (SDRBench convention).
 
     ``shape`` is the logical grid (C order, slowest axis first, matching
     SDRBench's ``<field>_<d1>x<d2>x<d3>.f32`` naming read right-to-left in
     the filename but passed here in array order).
+
+    Real SDRBench fields carry NaN/Inf fill sentinels (land cells in
+    climate data, void regions). ``on_nonfinite`` selects how they are
+    handled: ``"raise"`` (default) rejects the file — error-bounded
+    compression is undefined on non-finite values — while ``"mask"``
+    replaces them with the mean of the finite values and records the
+    replaced positions on :attr:`Field.mask`, so a caller can restore the
+    sentinels after decompression.
     """
+    if on_nonfinite not in ("raise", "mask"):
+        raise ValueError(f'on_nonfinite must be "raise" or "mask", got {on_nonfinite!r}')
     path = Path(path)
     dtype = np.dtype(dtype)
     expected = int(np.prod(shape)) * dtype.itemsize
@@ -40,20 +53,44 @@ def load_raw(
             f"dtype {dtype} needs {expected}"
         )
     data = np.fromfile(path, dtype=dtype).reshape(shape)
-    if not np.isfinite(data).all():
-        raise ValueError(f"{path.name}: contains non-finite values")
+    mask = None
+    finite = np.isfinite(data)
+    if not finite.all():
+        if on_nonfinite == "raise":
+            raise ValueError(f"{path.name}: contains non-finite values")
+        if not finite.any():
+            raise ValueError(f"{path.name}: every value is non-finite; nothing to mask")
+        mask = ~finite
+        data = data.copy()
+        data[mask] = data[finite].mean(dtype=np.float64)
     return Field(
         dataset=dataset or path.parent.name or "raw",
         name=name or path.stem,
         data=data,
+        mask=mask,
     )
 
 
 def save_raw(field: Field, path: str | Path) -> Path:
-    """Write a field as headerless binary (inverse of :func:`load_raw`)."""
+    """Write a field as headerless binary (inverse of :func:`load_raw`).
+
+    The write is atomic: bytes go to a temporary file in the destination
+    directory which is ``os.replace``-d over ``path`` only once fully
+    written, so a crash mid-write never leaves a truncated field behind.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    field.data.tofile(path)
+    fd, tmp_name = tempfile.mkstemp(prefix=f".{path.name}.", suffix=".tmp", dir=path.parent)
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            field.data.tofile(fh)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
     return path
 
 

@@ -113,7 +113,8 @@ class HuffmanCodec:
         symbols = np.asarray(symbols, dtype=np.int64).ravel()
         if symbols.size and symbols.min() < 0:
             raise ValueError("symbols must be non-negative")
-        size = int(alphabet_size if alphabet_size is not None else (symbols.max() + 1 if symbols.size else 1))
+        default = symbols.max() + 1 if symbols.size else 1
+        size = int(alphabet_size if alphabet_size is not None else default)
         freq = np.bincount(symbols, minlength=size)
         lengths = huffman_code_lengths(freq)
         return cls(lengths=lengths, codes=canonical_codes(lengths))

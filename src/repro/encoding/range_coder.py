@@ -126,7 +126,8 @@ class RangeDecoder:
 def range_encode(symbols: np.ndarray, alphabet_size: int | None = None) -> tuple[bytes, np.ndarray]:
     """One-shot helper: returns ``(payload, frequency_table)``."""
     symbols = np.asarray(symbols, dtype=np.int64).ravel()
-    size = int(alphabet_size if alphabet_size is not None else (symbols.max() + 1 if symbols.size else 1))
+    default = symbols.max() + 1 if symbols.size else 1
+    size = int(alphabet_size if alphabet_size is not None else default)
     freq = np.bincount(symbols, minlength=size)
     if symbols.size == 0:
         return b"", freq

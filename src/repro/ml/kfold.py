@@ -10,7 +10,9 @@ import numpy as np
 class KFold:
     """Shuffled k-fold splitter with deterministic seeding."""
 
-    def __init__(self, n_splits: int = 5, shuffle: bool = True, random_state: int | None = 0) -> None:
+    def __init__(
+        self, n_splits: int = 5, shuffle: bool = True, random_state: int | None = 0
+    ) -> None:
         if n_splits < 2:
             raise ValueError("n_splits must be >= 2")
         self.n_splits = int(n_splits)

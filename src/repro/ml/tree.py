@@ -209,7 +209,8 @@ class DecisionTreeRegressor:
         """Render the tree like the paper's Figure 4 (feature, mse, samples, value)."""
         if self.feature is None:
             return "<unfitted tree>"
-        names = feature_names or [f"x{i}" for i in range(int(self.feature.max()) + 1 if self.feature.max() >= 0 else 1)]
+        n_features = int(self.feature.max()) + 1 if self.feature.max() >= 0 else 1
+        names = feature_names or [f"x{i}" for i in range(n_features)]
         lines: list[str] = []
 
         def walk(node: int, indent: str) -> None:

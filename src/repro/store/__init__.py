@@ -1,0 +1,61 @@
+"""repro.store — chunked, ratio-controlled compressed array store.
+
+A single-file ``.rps`` container closes the loop from error-bound
+prediction to bytes on disk: a deterministic chunk grid
+(:mod:`~repro.store.chunking`), per-chunk compressed payloads with a
+JSON manifest footer (:mod:`~repro.store.format`), a streaming writer
+with closed-loop byte budgeting (:mod:`~repro.store.writer`), and a
+checksum-verifying random-access reader (:mod:`~repro.store.reader`).
+
+Typical use::
+
+    from repro.api import Carol, Store, StoreOptions
+
+    carol = Carol(compressor="szx"); carol.fit(train_fields)
+    report = Store.pack("field.rps", field, carol, target_ratio=16.0)
+    print(report.summary())             # achieved ratio vs target
+
+    with Store("field.rps") as st:
+        sub = st[4:12, :, 20:40]        # decompresses only intersecting chunks
+        full = st.read()
+
+``Store.pack`` accepts a :class:`~repro.data.fields.Field`, an ndarray,
+or an ``np.memmap`` (see :func:`open_raw`) — memmapped inputs stream
+through chunk by chunk, so fields larger than RAM never materialize.
+"""
+
+from repro.store.chunking import Chunk, ChunkGrid, default_chunk_shape
+from repro.store.format import CorruptChunkError, StoreFormatError
+from repro.store.reader import StoreReader
+from repro.store.writer import (
+    ChunkWriteRecord,
+    PackReport,
+    StoreOptions,
+    StoreWriter,
+    open_raw,
+    pack,
+)
+
+
+class Store(StoreReader):
+    """User-facing handle: ``Store(path)`` opens for reading,
+    ``Store.pack(...)`` creates a container (see :func:`repro.store.pack`)."""
+
+    pack = staticmethod(pack)
+
+
+__all__ = [
+    "Store",
+    "StoreOptions",
+    "StoreReader",
+    "StoreWriter",
+    "PackReport",
+    "ChunkWriteRecord",
+    "Chunk",
+    "ChunkGrid",
+    "default_chunk_shape",
+    "CorruptChunkError",
+    "StoreFormatError",
+    "open_raw",
+    "pack",
+]

@@ -1,0 +1,124 @@
+"""The ``.rps`` single-file container format (repro store).
+
+Layout, front to back::
+
+    [12-byte magic  b"RPROSTORE\\x00\\x00\\x00"]
+    [u16 LE format version]
+    [chunk 0 payload][chunk 1 payload]...        # raw compressor bytes
+    [JSON manifest, UTF-8]
+    [u64 LE manifest offset][u32 LE manifest nbytes][8-byte tail magic b"RPSFOOT\\x00"]
+
+Payloads are written append-only as chunks land (streaming writes never
+seek backwards), and the manifest — everything a reader needs: field
+shape/dtype, chunk grid, per-chunk ``offset``/``nbytes``/``error_bound``/
+``achieved_ratio``/``checksum`` plus the compressor metadata to invert
+each payload — arrives last, located via the fixed-size footer. A
+truncated or half-written file therefore fails loudly at open (bad tail
+magic) instead of yielding partial data.
+
+Checksums are blake2b-128 over each chunk's payload bytes: corruption is
+detected per chunk and reported naming the chunk, leaving every other
+chunk readable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import struct
+from pathlib import Path
+
+import numpy as np
+
+MAGIC = b"RPROSTORE\x00\x00\x00"
+TAIL_MAGIC = b"RPSFOOT\x00"
+FORMAT_VERSION = 1
+
+_HEADER = struct.Struct("<12sH")
+_FOOTER = struct.Struct("<QI8s")
+
+HEADER_BYTES = _HEADER.size
+FOOTER_BYTES = _FOOTER.size
+
+
+class StoreFormatError(ValueError):
+    """The file is not a valid ``.rps`` container (wrong magic, version,
+    truncation, or a manifest that does not parse)."""
+
+
+class CorruptChunkError(StoreFormatError):
+    """A chunk's payload bytes do not match their recorded checksum."""
+
+    def __init__(self, coords: tuple[int, ...], path, detail: str) -> None:
+        self.coords = tuple(coords)
+        super().__init__(f"chunk {self.coords} of {Path(path).name} is corrupt: {detail}")
+
+
+def chunk_checksum(payload: bytes) -> str:
+    """blake2b-128 hex digest of one chunk's payload bytes."""
+    return hashlib.blake2b(payload, digest_size=16).hexdigest()
+
+
+def json_safe(value):
+    """Convert compressor metadata to JSON-able values, reversibly.
+
+    Tuples/arrays become lists (readers re-tuple ``shape`` themselves, the
+    one key where it matters) and numpy scalars become Python numbers.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, dict):
+        return {str(k): json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [json_safe(v) for v in value]
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    raise TypeError(f"chunk metadata value {value!r} is not JSON-serializable")
+
+
+def write_header(fh) -> int:
+    """Write the fixed header at the current position; returns bytes written."""
+    fh.write(_HEADER.pack(MAGIC, FORMAT_VERSION))
+    return HEADER_BYTES
+
+
+def write_manifest(fh, manifest: dict) -> int:
+    """Append the manifest JSON plus the locating footer; returns bytes written."""
+    offset = fh.tell()
+    blob = json.dumps(manifest, sort_keys=True).encode("utf-8")
+    fh.write(blob)
+    fh.write(_FOOTER.pack(offset, len(blob), TAIL_MAGIC))
+    return len(blob) + FOOTER_BYTES
+
+
+def read_manifest(fh, path) -> dict:
+    """Validate header + footer and return the parsed manifest."""
+    fh.seek(0, 2)
+    size = fh.tell()
+    if size < HEADER_BYTES + FOOTER_BYTES:
+        raise StoreFormatError(f"{Path(path).name}: too small to be a store file ({size} bytes)")
+    fh.seek(0)
+    magic, version = _HEADER.unpack(fh.read(HEADER_BYTES))
+    if magic != MAGIC:
+        raise StoreFormatError(f"{Path(path).name}: bad magic {magic!r}; not a repro store file")
+    if version != FORMAT_VERSION:
+        raise StoreFormatError(f"{Path(path).name}: unsupported store format version {version}")
+    fh.seek(size - FOOTER_BYTES)
+    offset, nbytes, tail = _FOOTER.unpack(fh.read(FOOTER_BYTES))
+    if tail != TAIL_MAGIC:
+        raise StoreFormatError(
+            f"{Path(path).name}: missing footer magic — file is truncated or still being written"
+        )
+    if offset + nbytes + FOOTER_BYTES != size or offset < HEADER_BYTES:
+        raise StoreFormatError(f"{Path(path).name}: footer points outside the file")
+    fh.seek(offset)
+    try:
+        manifest = json.loads(fh.read(nbytes).decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise StoreFormatError(f"{Path(path).name}: manifest does not parse: {exc}") from exc
+    for key in ("shape", "dtype", "chunk_shape", "compressor", "chunks"):
+        if key not in manifest:
+            raise StoreFormatError(f"{Path(path).name}: manifest missing {key!r}")
+    return manifest

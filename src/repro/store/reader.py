@@ -1,0 +1,184 @@
+"""Random-access reads from a ``.rps`` container.
+
+:class:`StoreReader` parses the manifest once at open and then serves
+chunk and subvolume reads by seeking straight to the requested payloads:
+a read decompresses *only* the chunks intersecting the request (counted
+in ``store.read.chunks_decompressed``), verifies each payload against
+its recorded blake2b checksum, and raises
+:class:`~repro.store.format.CorruptChunkError` naming the offending
+chunk — every other chunk stays readable.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.compressors.base import CompressionResult
+from repro.compressors.registry import get_compressor
+from repro.obs import count, timed_span
+from repro.store.chunking import ChunkGrid
+from repro.store.format import CorruptChunkError, StoreFormatError, chunk_checksum, read_manifest
+
+
+class StoreReader:
+    """Read side of the store: manifest introspection + random access.
+
+    ``verify=False`` skips checksum verification (trusted local media);
+    the default verifies every payload it decompresses.
+    """
+
+    def __init__(self, path, *, verify: bool = True) -> None:
+        self.path = Path(path)
+        self.verify = bool(verify)
+        self._fh = open(self.path, "rb")
+        try:
+            self.manifest = read_manifest(self._fh, self.path)
+        except StoreFormatError:
+            self._fh.close()
+            raise
+        self.shape = tuple(int(s) for s in self.manifest["shape"])
+        self.dtype = np.dtype(self.manifest["dtype"])
+        self.chunk_shape = tuple(int(c) for c in self.manifest["chunk_shape"])
+        self.compressor = self.manifest["compressor"]
+        self.grid = ChunkGrid(self.shape, self.chunk_shape)
+        self._codec = get_compressor(self.compressor)
+        self._entries = {tuple(e["coords"]): e for e in self.manifest["chunks"]}
+        if len(self._entries) != self.grid.n_chunks:
+            raise StoreFormatError(
+                f"{self.path.name}: manifest has {len(self._entries)} chunks; "
+                f"grid needs {self.grid.n_chunks}"
+            )
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def n_chunks(self) -> int:
+        return self.grid.n_chunks
+
+    @property
+    def target_ratio(self) -> float:
+        return float(self.manifest["target_ratio"])
+
+    @property
+    def achieved_ratio(self) -> float:
+        stored = int(self.manifest["stored_bytes"])
+        return int(self.manifest["original_bytes"]) / stored if stored else 0.0
+
+    def chunk_entry(self, coords: tuple[int, ...]) -> dict:
+        """The manifest entry for one chunk (coords as grid coordinates)."""
+        key = tuple(int(c) for c in coords)
+        if key not in self._entries:
+            raise KeyError(f"no chunk {key} in {self.path.name} (grid {self.grid.grid_shape})")
+        return self._entries[key]
+
+    def info(self) -> dict:
+        """Summary dict behind ``python -m repro store-info``."""
+        ebs = [e["error_bound"] for e in self.manifest["chunks"]]
+        ratios = [e["achieved_ratio"] for e in self.manifest["chunks"]]
+        return {
+            "path": str(self.path),
+            "shape": self.shape,
+            "dtype": str(self.dtype),
+            "compressor": self.compressor,
+            "chunk_shape": self.chunk_shape,
+            "grid_shape": self.grid.grid_shape,
+            "n_chunks": self.n_chunks,
+            "original_bytes": int(self.manifest["original_bytes"]),
+            "stored_bytes": int(self.manifest["stored_bytes"]),
+            "target_ratio": self.target_ratio,
+            "achieved_ratio": self.achieved_ratio,
+            "closed_loop": bool(self.manifest.get("closed_loop", False)),
+            "error_bound_min": min(ebs) if ebs else 0.0,
+            "error_bound_max": max(ebs) if ebs else 0.0,
+            "chunk_ratio_min": min(ratios) if ratios else 0.0,
+            "chunk_ratio_max": max(ratios) if ratios else 0.0,
+        }
+
+    # -- chunk access ------------------------------------------------------------
+
+    def _read_payload(self, entry: dict, *, force_verify: bool = False) -> bytes:
+        self._fh.seek(int(entry["offset"]))
+        payload = self._fh.read(int(entry["nbytes"]))
+        coords = tuple(entry["coords"])
+        if len(payload) != int(entry["nbytes"]):
+            raise CorruptChunkError(
+                coords, self.path, f"payload truncated to {len(payload)} bytes"
+            )
+        if (self.verify or force_verify) and chunk_checksum(payload) != entry["checksum"]:
+            raise CorruptChunkError(coords, self.path, "checksum mismatch")
+        return payload
+
+    def read_chunk(self, coords: tuple[int, ...]) -> np.ndarray:
+        """Decompress one chunk; returns its array in the stored dtype."""
+        entry = self.chunk_entry(coords)
+        payload = self._read_payload(entry)
+        meta = dict(entry["meta"])
+        meta["shape"] = tuple(meta["shape"])
+        result = CompressionResult(
+            compressor=self.compressor,
+            payload=payload,
+            metadata=meta,
+            original_bytes=int(entry["raw_bytes"]),
+            error_bound=float(entry["error_bound"]),
+        )
+        out = self._codec.decompress(result)
+        count("store.read.chunks_decompressed")
+        count("store.read.bytes_decompressed", int(entry["nbytes"]))
+        return out
+
+    # -- subvolume reads ---------------------------------------------------------
+
+    def read(self, region=None) -> np.ndarray:
+        """Read the whole field (``region=None``) or an axis-aligned subvolume.
+
+        ``region`` follows numpy basic slicing without steps: a tuple of
+        slices/ints (ints keep their axis as length one). Only intersecting
+        chunks are decompressed.
+        """
+        sel = self.grid.normalize_region(region)
+        out_shape = tuple(s.stop - s.start for s in sel)
+        out = np.empty(out_shape, dtype=self.dtype)
+        chunks = self.grid.chunks_intersecting(sel)
+        with timed_span(
+            "store.read", path=str(self.path), n_chunks=len(chunks), shape=out_shape
+        ):
+            count("store.read.requests")
+            for chunk in chunks:
+                data = self.read_chunk(chunk.coords)
+                out_sl, chunk_sl = [], []
+                for r, c in zip(sel, chunk.slices):
+                    start = max(r.start, c.start)
+                    stop = min(r.stop, c.stop)
+                    out_sl.append(slice(start - r.start, stop - r.start))
+                    chunk_sl.append(slice(start - c.start, stop - c.start))
+                out[tuple(out_sl)] = data[tuple(chunk_sl)]
+        return out
+
+    def __getitem__(self, region) -> np.ndarray:
+        return self.read(region)
+
+    def verify_all(self) -> int:
+        """Checksum every chunk payload (even with ``verify=False``);
+        returns the count verified."""
+        for entry in self._entries.values():
+            self._read_payload(entry, force_verify=True)
+        return len(self._entries)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        self._fh.close()
+
+    def __enter__(self) -> "StoreReader":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"StoreReader({self.path.name}, shape={self.shape}, "
+            f"chunks={self.grid.grid_shape}, compressor={self.compressor})"
+        )

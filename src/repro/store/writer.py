@@ -1,0 +1,316 @@
+"""Streaming store writer with a closed-loop byte budget.
+
+:class:`StoreWriter` turns "this field must fit N bytes" into a chunked
+``.rps`` container: it walks a deterministic :class:`~repro.store.chunking.ChunkGrid`
+over the input, predicts each chunk's error bound through a fitted
+framework (or a :class:`repro.serve.PredictionService`, inheriting its
+feature cache), compresses, and appends the payload — the input is only
+ever touched one chunk at a time, so fields loaded via ``np.memmap``
+stream through without materializing.
+
+The byte budget is *closed-loop*: after each chunk lands, the remaining
+budget is redistributed over the remaining raw bytes, so a chunk that
+came in over target raises the ratio asked of later chunks (and vice
+versa) instead of letting the error accumulate. Open-loop mode
+(``closed_loop=False``) asks every chunk for the global target — the
+per-chunk-prediction baseline the closed loop is measured against.
+
+Every ``(features, error bound, achieved ratio, target)`` outcome can be
+fed to a :class:`repro.core.feedback.FeedbackLoop` (``feedback=``): a
+pack run is a batch of free ground-truth observations, so packing
+improves the very model that budgets the next pack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+from pathlib import Path
+
+import numpy as np
+
+from repro.obs import count, observe, set_gauge, timed_span
+from repro.store.chunking import DEFAULT_CHUNK_ELEMENTS, ChunkGrid
+from repro.store.format import chunk_checksum, json_safe, write_header, write_manifest
+from repro.utils.validation import as_float_array
+
+
+@dataclass(frozen=True)
+class StoreOptions:
+    """Frozen, hashable packing configuration (the store counterpart of
+    :class:`repro.api.FrameworkOptions`).
+
+    ``chunk_shape=None`` derives a grid of roughly ``chunk_elements``
+    values per chunk. ``min_chunk_ratio``/``max_chunk_ratio`` clamp the
+    per-chunk targets the closed loop may request, keeping one badly
+    mispredicted chunk from driving the next target somewhere the model
+    was never trained.
+    """
+
+    chunk_shape: tuple[int, ...] | None = None
+    chunk_elements: int = DEFAULT_CHUNK_ELEMENTS
+    closed_loop: bool = True
+    safety: float = 0.0
+    min_chunk_ratio: float = 1.01
+    max_chunk_ratio: float = 1e4
+
+    def __post_init__(self) -> None:
+        if self.chunk_shape is not None:
+            object.__setattr__(self, "chunk_shape", tuple(int(c) for c in self.chunk_shape))
+        if self.chunk_elements < 1:
+            raise ValueError("chunk_elements must be >= 1")
+        if not 1.0 <= self.min_chunk_ratio <= self.max_chunk_ratio:
+            raise ValueError("need 1 <= min_chunk_ratio <= max_chunk_ratio")
+
+    def grid_for(self, shape: tuple[int, ...]) -> ChunkGrid:
+        return ChunkGrid.for_shape(shape, self.chunk_shape, self.chunk_elements)
+
+
+@dataclass
+class ChunkWriteRecord:
+    """One packed chunk's outcome (mirrors its manifest entry)."""
+
+    coords: tuple[int, ...]
+    target_ratio: float
+    error_bound: float
+    achieved_ratio: float
+    raw_bytes: int
+    stored_bytes: int
+
+
+@dataclass
+class PackReport:
+    """Whole-pack accounting returned by :meth:`StoreWriter.write`."""
+
+    path: Path
+    target_ratio: float
+    closed_loop: bool
+    original_bytes: int
+    stored_bytes: int
+    file_bytes: int
+    chunks: list[ChunkWriteRecord] = dc_field(default_factory=list)
+
+    @property
+    def n_chunks(self) -> int:
+        return len(self.chunks)
+
+    @property
+    def achieved_ratio(self) -> float:
+        """Original over stored bytes (chunk payloads + per-chunk headers;
+        the manifest is fixed bookkeeping, not compression)."""
+        return self.original_bytes / self.stored_bytes if self.stored_bytes else 0.0
+
+    @property
+    def budget_drift(self) -> float:
+        """Relative deviation of the achieved ratio from the target."""
+        return abs(self.achieved_ratio - self.target_ratio) / self.target_ratio
+
+    def summary(self) -> str:
+        return (
+            f"{self.path.name}: {self.n_chunks} chunks, "
+            f"{self.original_bytes} -> {self.stored_bytes} bytes, "
+            f"ratio {self.achieved_ratio:.2f} (target {self.target_ratio:.2f}, "
+            f"drift {100.0 * self.budget_drift:.1f}%, "
+            f"{'closed' if self.closed_loop else 'open'}-loop)"
+        )
+
+
+def _as_source_array(source) -> np.ndarray:
+    """A chunk-sliceable array view of the input, without copying it whole.
+
+    Accepts a :class:`repro.data.fields.Field`, an ndarray (including
+    ``np.memmap``), or anything array-like. Memmaps pass through untouched
+    so slicing reads only the pages a chunk needs.
+    """
+    if hasattr(source, "data") and isinstance(source.data, np.ndarray):
+        source = source.data  # a Field
+    if isinstance(source, np.ndarray):
+        if not np.issubdtype(source.dtype, np.floating):
+            return as_float_array(source)
+        return source
+    return as_float_array(source)
+
+
+def open_raw(path, shape: tuple[int, ...], dtype=np.float32) -> np.memmap:
+    """Memory-map a headerless SDRBench-style raw file for packing.
+
+    The returned memmap streams through :meth:`StoreWriter.write` one
+    chunk at a time — fields larger than RAM never fully materialize.
+    """
+    path = Path(path)
+    dtype = np.dtype(dtype)
+    expected = int(np.prod(shape)) * dtype.itemsize
+    actual = path.stat().st_size
+    if actual != expected:
+        raise ValueError(
+            f"{path.name}: file has {actual} bytes but shape {tuple(shape)} with "
+            f"dtype {dtype} needs {expected}"
+        )
+    return np.memmap(path, dtype=dtype, mode="r", shape=tuple(shape))
+
+
+class StoreWriter:
+    """Packs one field into one ``.rps`` container.
+
+    ``predictor`` is either a fitted
+    :class:`~repro.core.framework.RatioControlledFramework` or a
+    :class:`repro.serve.PredictionService` wrapping one — the service
+    route reuses its content-addressed feature cache, so re-packing an
+    already-served field skips feature extraction per chunk.
+    """
+
+    def __init__(self, path, predictor, *, options: StoreOptions | None = None) -> None:
+        self.path = Path(path)
+        self.options = options or StoreOptions()
+        if hasattr(predictor, "predict_error_bound"):
+            self._framework = predictor
+            self._service = None
+        elif hasattr(predictor, "predict") and hasattr(predictor, "framework"):
+            self._framework = predictor.framework
+            self._service = predictor
+        else:
+            raise TypeError(
+                "predictor must be a fitted framework or a PredictionService, "
+                f"got {type(predictor).__name__}"
+            )
+        if self._framework.model.forest is None:
+            raise ValueError("predictor's framework is not fitted")
+
+    # -- prediction --------------------------------------------------------------
+
+    def _predict(self, chunk_arr: np.ndarray, target: float):
+        if self._service is not None:
+            return self._service.predict(chunk_arr, target, safety=self.options.safety)
+        return self._framework.predict_error_bound(
+            chunk_arr, target, safety=self.options.safety
+        )
+
+    # -- packing -----------------------------------------------------------------
+
+    def write(self, source, target_ratio: float, *, feedback=None) -> PackReport:
+        """Pack ``source`` to ``target_ratio``; returns a :class:`PackReport`.
+
+        ``feedback``, if given, is a :class:`repro.core.feedback.FeedbackLoop`
+        (or anything with its ``record`` signature): every chunk's measured
+        outcome is recorded as a training observation.
+        """
+        target_ratio = float(target_ratio)
+        if target_ratio <= 1.0:
+            raise ValueError(f"target_ratio must be > 1, got {target_ratio}")
+        arr = _as_source_array(source)
+        opts = self.options
+        grid = opts.grid_for(arr.shape)
+        codec = self._framework._codec
+
+        original_bytes = int(arr.nbytes)
+        budget = original_bytes / target_ratio
+        raw_remaining = original_bytes
+        spent = 0
+        entries: list[dict] = []
+        records: list[ChunkWriteRecord] = []
+
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with timed_span(
+            "store.pack",
+            path=str(self.path),
+            n_chunks=grid.n_chunks,
+            target_ratio=target_ratio,
+            closed_loop=opts.closed_loop,
+        ):
+            with open(self.path, "wb") as fh:
+                offset = write_header(fh)
+                for chunk in grid:
+                    # One chunk in RAM at a time: a memmap source is read
+                    # page-by-page here, never materialized whole.
+                    chunk_arr = np.ascontiguousarray(arr[chunk.slices])
+                    chunk_raw = int(chunk_arr.nbytes)
+                    if opts.closed_loop:
+                        remaining_budget = max(budget - spent, 1.0)
+                        chunk_target = raw_remaining / remaining_budget
+                        chunk_target = min(
+                            max(chunk_target, opts.min_chunk_ratio), opts.max_chunk_ratio
+                        )
+                    else:
+                        chunk_target = target_ratio
+                    with timed_span(
+                        "store.pack.chunk", coords=chunk.coords, target_ratio=chunk_target
+                    ):
+                        pred = self._predict(chunk_arr, chunk_target)
+                        result = codec.compress(chunk_arr, pred.error_bound)
+                    payload = result.payload
+                    fh.write(payload)
+                    if feedback is not None:
+                        feedback.record(
+                            pred.features, pred.error_bound, result.ratio, chunk_target
+                        )
+                    spent += result.compressed_bytes
+                    raw_remaining -= chunk_raw
+                    count("store.chunks_written")
+                    count("store.bytes_written", len(payload))
+                    observe("store.chunk.achieved_ratio", result.ratio)
+                    entries.append(
+                        {
+                            "coords": list(chunk.coords),
+                            "offset": offset,
+                            "nbytes": len(payload),
+                            "error_bound": float(pred.error_bound),
+                            "target_ratio": float(chunk_target),
+                            "achieved_ratio": float(result.ratio),
+                            "raw_bytes": chunk_raw,
+                            "checksum": chunk_checksum(payload),
+                            "meta": json_safe(result.metadata),
+                        }
+                    )
+                    records.append(
+                        ChunkWriteRecord(
+                            coords=chunk.coords,
+                            target_ratio=float(chunk_target),
+                            error_bound=float(pred.error_bound),
+                            achieved_ratio=float(result.ratio),
+                            raw_bytes=chunk_raw,
+                            stored_bytes=result.compressed_bytes,
+                        )
+                    )
+                    offset += len(payload)
+                manifest = {
+                    "version": 1,
+                    "compressor": codec.name,
+                    "framework": self._framework.name,
+                    "shape": list(arr.shape),
+                    "dtype": str(arr.dtype),
+                    "chunk_shape": list(grid.chunk_shape),
+                    "grid_shape": list(grid.grid_shape),
+                    "target_ratio": target_ratio,
+                    "closed_loop": opts.closed_loop,
+                    "safety": opts.safety,
+                    "original_bytes": original_bytes,
+                    "stored_bytes": spent,
+                    "chunks": entries,
+                }
+                manifest_bytes = write_manifest(fh, manifest)
+        report = PackReport(
+            path=self.path,
+            target_ratio=target_ratio,
+            closed_loop=opts.closed_loop,
+            original_bytes=original_bytes,
+            stored_bytes=spent,
+            file_bytes=offset + manifest_bytes,
+            chunks=records,
+        )
+        observe("store.pack.budget_drift", report.budget_drift)
+        set_gauge("store.pack.achieved_ratio", report.achieved_ratio)
+        return report
+
+
+def pack(
+    path,
+    source,
+    predictor,
+    target_ratio: float,
+    *,
+    options: StoreOptions | None = None,
+    feedback=None,
+) -> PackReport:
+    """One-call pack: ``source`` (Field / array / memmap) into ``path``."""
+    return StoreWriter(path, predictor, options=options).write(
+        source, target_ratio, feedback=feedback
+    )

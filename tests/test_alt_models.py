@@ -39,7 +39,9 @@ class TestBoosting:
         m = GradientBoostingRegressor(n_estimators=20, subsample=0.5, random_state=0).fit(X, y)
         assert m.score(X, y) > 0.5
 
-    @pytest.mark.parametrize("bad", [{"n_estimators": 0}, {"learning_rate": 0.0}, {"subsample": 1.5}])
+    @pytest.mark.parametrize(
+        "bad", [{"n_estimators": 0}, {"learning_rate": 0.0}, {"subsample": 1.5}]
+    )
     def test_invalid_params(self, bad):
         with pytest.raises(ValueError):
             GradientBoostingRegressor(**bad)

@@ -15,7 +15,8 @@ class TestParser:
         sub = next(a for a in parser._actions if a.dest == "command")
         assert set(sub.choices) >= {
             "datasets", "estimate", "train", "predict", "compress", "bench",
-            "serve-bench",
+            "serve-bench", "store-pack", "store-info", "store-unpack",
+            "trace-summary",
         }
 
 
@@ -86,6 +87,88 @@ class TestBench:
         assert rc == 2
         err = capsys.readouterr().err
         assert "fig2_surrogate_curves" in err
+
+
+class TestStoreCommands:
+    @pytest.fixture(scope="class")
+    def store_env(self, tmp_path_factory):
+        """Train a chunk-sized model, write a raw field, pack it."""
+        from repro import load_field
+
+        d = tmp_path_factory.mktemp("store_cli")
+        model = d / "model.npz"
+        assert main([
+            "train", "--datasets", "miranda", "--shape", "8", "16", "16",
+            "--compressor", "szx", "--out", str(model),
+            "--eb-min", "1e-3", "--eb-max", "3e-1", "-n", "6", "--iters", "5",
+        ]) == 0
+        raw = d / "pressure.f32"
+        load_field("miranda/pressure", shape=(16, 16, 16), seed=3).data.tofile(raw)
+        store = d / "pressure.rps"
+        assert main([
+            "store-pack", str(raw), "--shape", "16", "16", "16",
+            "--chunk", "8", "16", "16",
+            "--model", str(model), "--ratio", "6", "--out", str(store),
+        ]) == 0
+        return d, model, raw, store
+
+    def test_pack_compresses_the_raw_file(self, store_env):
+        _, _, raw, store = store_env
+        assert store.stat().st_size < raw.stat().st_size
+
+    def test_pack_synthetic_source(self, store_env, tmp_path, capsys):
+        _, model, _, _ = store_env
+        rc = main([
+            "store-pack", "miranda/viscosity", "--shape", "16", "16", "16",
+            "--model", str(model), "--ratio", "5",
+            "--out", str(tmp_path / "v.rps"),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "achieved" in out and "chunks" in out
+
+    def test_raw_source_requires_shape(self, store_env, tmp_path):
+        _, model, raw, _ = store_env
+        with pytest.raises(SystemExit, match="--shape"):
+            main([
+                "store-pack", str(raw), "--model", str(model),
+                "--ratio", "6", "--out", str(tmp_path / "x.rps"),
+            ])
+
+    def test_info(self, store_env, capsys):
+        _, _, _, store = store_env
+        assert main(["store-info", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "achieved_ratio" in out
+        assert "szx" in out
+        assert "(16, 16, 16)" in out
+
+    def test_info_chunk_listing(self, store_env, capsys):
+        _, _, _, store = store_env
+        assert main(["store-info", str(store), "--chunks"]) == 0
+        out = capsys.readouterr().out
+        assert "(0, 0, 0)" in out and "(1, 0, 0)" in out
+
+    def test_unpack_verifies_against_original(self, store_env, tmp_path, capsys):
+        _, _, raw, store = store_env
+        out_file = tmp_path / "roundtrip.f32"
+        rc = main([
+            "store-unpack", str(store), "--out", str(out_file),
+            "--verify-against", str(raw),
+        ])
+        assert rc == 0
+        assert out_file.stat().st_size == raw.stat().st_size
+        assert "within every chunk's recorded bound" in capsys.readouterr().out
+
+    def test_unpack_flags_bound_violations(self, store_env, tmp_path, capsys):
+        from repro import load_field
+
+        _, _, _, store = store_env
+        other = tmp_path / "other.f32"
+        load_field("miranda/density", shape=(16, 16, 16), seed=9).data.tofile(other)
+        rc = main(["store-unpack", str(store), "--verify-against", str(other)])
+        assert rc == 1
+        assert "FAIL" in capsys.readouterr().out
 
 
 class TestServeBench:

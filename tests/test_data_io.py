@@ -49,6 +49,91 @@ class TestValidation:
             load_raw_dataset(tmp_path, (4, 4))
 
 
+class TestNonFiniteMask:
+    """SDRBench fill sentinels: opt-in masking instead of hard rejection."""
+
+    @pytest.fixture()
+    def sentinel_path(self, tmp_path):
+        data = np.array([[1.0, np.nan, 3.0], [np.inf, 5.0, -np.inf]], dtype=np.float32)
+        data.tofile(tmp_path / "sentinels.f32")
+        return tmp_path / "sentinels.f32"
+
+    def test_mask_mode_replaces_with_finite_mean(self, sentinel_path):
+        field = load_raw(sentinel_path, (2, 3), on_nonfinite="mask")
+        assert np.isfinite(field.data).all()
+        mean = np.float32(np.mean([1.0, 3.0, 5.0]))
+        np.testing.assert_allclose(field.data[field.mask], mean, rtol=1e-6)
+
+    def test_mask_records_exact_positions(self, sentinel_path):
+        field = load_raw(sentinel_path, (2, 3), on_nonfinite="mask")
+        expected = np.array([[False, True, False], [True, False, True]])
+        np.testing.assert_array_equal(field.mask, expected)
+
+    def test_finite_values_untouched(self, sentinel_path):
+        field = load_raw(sentinel_path, (2, 3), on_nonfinite="mask")
+        np.testing.assert_array_equal(
+            field.data[~field.mask], np.array([1.0, 3.0, 5.0], dtype=np.float32)
+        )
+
+    def test_clean_file_has_no_mask(self, field, tmp_path):
+        path = save_raw(field, tmp_path / "clean.f32")
+        loaded = load_raw(path, (6, 8, 10), on_nonfinite="mask")
+        assert loaded.mask is None
+        np.testing.assert_array_equal(loaded.data, field.data)
+
+    def test_default_still_raises(self, sentinel_path):
+        with pytest.raises(ValueError, match="non-finite"):
+            load_raw(sentinel_path, (2, 3))
+
+    def test_all_nonfinite_raises_even_masked(self, tmp_path):
+        np.full(4, np.nan, dtype=np.float32).tofile(tmp_path / "allnan.f32")
+        with pytest.raises(ValueError, match="every value"):
+            load_raw(tmp_path / "allnan.f32", (4,), on_nonfinite="mask")
+
+    def test_unknown_mode_rejected(self, sentinel_path):
+        with pytest.raises(ValueError, match="on_nonfinite"):
+            load_raw(sentinel_path, (2, 3), on_nonfinite="zero")
+
+    def test_masked_field_runs_compressors(self, sentinel_path):
+        """The masked field is finite, so the compressor path accepts it."""
+        from repro import get_compressor
+
+        field = load_raw(sentinel_path, (2, 3), on_nonfinite="mask")
+        recon, res = get_compressor("szx").roundtrip(field.data, 0.01)
+        assert np.abs(recon - field.data).max() <= 0.01
+
+
+class TestAtomicSave:
+    def test_overwrite_is_atomic_on_failure(self, field, tmp_path):
+        target = tmp_path / "field.f32"
+        save_raw(field, target)
+        good = target.read_bytes()
+
+        class Exploding:
+            def tofile(self, fh):
+                fh.write(b"partial")  # bytes hit the temp file, never the target
+                raise OSError("disk full")
+
+        with pytest.raises(OSError, match="disk full"):
+            save_raw(Field("d", "v", Exploding()), target)
+        assert target.read_bytes() == good
+
+    def test_failed_first_write_leaves_nothing(self, tmp_path):
+        class Exploding:
+            def tofile(self, fh):
+                raise OSError("disk full")
+
+        target = tmp_path / "new.f32"
+        with pytest.raises(OSError):
+            save_raw(Field("d", "v", Exploding()), target)
+        assert not target.exists()
+        assert list(tmp_path.iterdir()) == []  # no orphaned temp files
+
+    def test_no_temp_files_after_success(self, field, tmp_path):
+        save_raw(field, tmp_path / "ok.f32")
+        assert [p.name for p in tmp_path.iterdir()] == ["ok.f32"]
+
+
 class TestDatasetLoad:
     def test_loads_all_matching(self, rng, tmp_path):
         d = tmp_path / "nyx"

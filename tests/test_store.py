@@ -1,0 +1,325 @@
+"""repro.store end to end: pack/unpack round trips, closed-loop budgeting,
+random access, corruption detection, memmap streaming, feedback wiring."""
+
+import numpy as np
+import pytest
+
+from repro import CarolFramework, Field, load_dataset, load_field, obs
+from repro.core.feedback import FeedbackLoop
+from repro.data.io import save_raw
+from repro.store import (
+    CorruptChunkError,
+    Store,
+    StoreFormatError,
+    StoreOptions,
+    StoreWriter,
+    open_raw,
+    pack,
+)
+
+SHAPE = (24, 32, 32)
+CHUNK = (8, 16, 16)
+TARGET = 8.0
+REL = np.geomspace(1e-3, 3e-1, 8)
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    """Framework trained on chunk-sized fields, so per-chunk predictions
+    see in-distribution feature statistics."""
+    fw = CarolFramework(compressor="szx", rel_error_bounds=REL, n_iter=6, cv=2)
+    fw.fit(load_dataset("miranda", shape=CHUNK))
+    return fw
+
+
+@pytest.fixture(scope="module")
+def field():
+    return load_field("miranda/pressure", shape=SHAPE, seed=3)
+
+
+@pytest.fixture(scope="module")
+def packed(fitted, field, tmp_path_factory):
+    path = tmp_path_factory.mktemp("store") / "pressure.rps"
+    report = pack(path, field, fitted, TARGET, options=StoreOptions(chunk_shape=CHUNK))
+    return path, report
+
+
+class TestPackRoundTrip:
+    def test_every_element_within_its_chunk_bound(self, packed, field):
+        path, report = packed
+        with Store(path) as st:
+            full = st.read()
+            assert full.shape == field.data.shape
+            assert full.dtype == field.data.dtype
+            for rec in report.chunks:
+                chunk = st.grid.chunk_at(rec.coords)
+                err = np.max(
+                    np.abs(
+                        full[chunk.slices].astype(np.float64)
+                        - field.data[chunk.slices].astype(np.float64)
+                    )
+                )
+                assert err <= rec.error_bound * (1 + 1e-9), rec.coords
+
+    def test_achieved_ratio_within_10pct_of_target(self, packed):
+        _, report = packed
+        assert report.target_ratio == TARGET
+        assert report.budget_drift < 0.10
+
+    def test_closed_loop_beats_open_loop(self, fitted, field, tmp_path):
+        drift = {}
+        for closed in (True, False):
+            report = pack(
+                tmp_path / f"loop{closed}.rps",
+                field,
+                fitted,
+                TARGET,
+                options=StoreOptions(chunk_shape=CHUNK, closed_loop=closed),
+            )
+            drift[closed] = report.budget_drift
+        assert drift[True] < drift[False]
+
+    def test_manifest_metadata_bit_exact(self, packed, fitted, field, tmp_path):
+        path, report = packed
+        # Re-packing the same input is byte-identical (canonical manifest,
+        # deterministic predictions), so the manifest round-trips bit-exact.
+        again = tmp_path / "again.rps"
+        pack(again, field, fitted, TARGET, options=StoreOptions(chunk_shape=CHUNK))
+        assert again.read_bytes() == path.read_bytes()
+        with Store(path) as st:
+            assert len(st.manifest["chunks"]) == report.n_chunks
+            for entry, rec in zip(st.manifest["chunks"], report.chunks):
+                assert tuple(entry["coords"]) == rec.coords
+                assert entry["error_bound"] == rec.error_bound
+                assert entry["achieved_ratio"] == rec.achieved_ratio
+                assert entry["target_ratio"] == rec.target_ratio
+
+    def test_report_accounting(self, packed, field):
+        _, report = packed
+        assert report.original_bytes == field.data.nbytes
+        assert report.stored_bytes == sum(c.stored_bytes for c in report.chunks)
+        assert sum(c.raw_bytes for c in report.chunks) == report.original_bytes
+        assert report.achieved_ratio == pytest.approx(
+            report.original_bytes / report.stored_bytes
+        )
+        assert "chunks" in report.summary()
+
+    def test_closed_loop_retargets_after_misses(self, packed):
+        _, report = packed
+        targets = {round(c.target_ratio, 6) for c in report.chunks}
+        assert len(targets) > 1  # the budget loop actually moved the target
+
+
+class TestRandomAccess:
+    def test_subvolume_matches_full_read(self, packed):
+        path, _ = packed
+        with Store(path) as st:
+            full = st.read()
+            region = (slice(4, 20), slice(10, 30), slice(0, 9))
+            np.testing.assert_array_equal(st.read(region), full[region])
+            np.testing.assert_array_equal(st[5, :, 3:7], full[5:6, :, 3:7])
+
+    def test_only_intersecting_chunks_decompressed(self, packed):
+        path, _ = packed
+        with Store(path) as st:
+            region = (slice(0, 8), slice(0, 16), slice(0, 16))  # exactly 1 chunk
+            expected = len(st.grid.chunks_intersecting(region))
+            assert expected < st.n_chunks
+            obs.enable()  # clears the metrics registry
+            try:
+                counter = obs.registry().counter("store.read.chunks_decompressed")
+                st.read(region)
+                assert counter.value == expected
+                st.read()
+                assert counter.value == expected + st.n_chunks
+            finally:
+                obs.disable()
+
+    def test_read_single_chunk(self, packed, field):
+        path, report = packed
+        with Store(path) as st:
+            rec = report.chunks[0]
+            chunk = st.grid.chunk_at(rec.coords)
+            data = st.read_chunk(rec.coords)
+            assert data.shape == chunk.shape
+            err = np.max(
+                np.abs(
+                    data.astype(np.float64) - field.data[chunk.slices].astype(np.float64)
+                )
+            )
+            assert err <= rec.error_bound * (1 + 1e-9)
+
+    def test_empty_region(self, packed):
+        path, _ = packed
+        with Store(path) as st:
+            assert st.read((slice(3, 3),)).shape == (0, 32, 32)
+
+    def test_info_summary(self, packed):
+        path, report = packed
+        with Store(path) as st:
+            info = st.info()
+            assert info["n_chunks"] == report.n_chunks
+            assert info["achieved_ratio"] == pytest.approx(report.achieved_ratio)
+            assert info["closed_loop"] is True
+            assert info["compressor"] == "szx"
+
+
+class TestCorruption:
+    @pytest.fixture()
+    def corrupted(self, packed, tmp_path):
+        path, report = packed
+        blob = bytearray(path.read_bytes())
+        with Store(path) as st:
+            victim = st.manifest["chunks"][2]
+        blob[victim["offset"]] ^= 0xFF  # flip one payload byte
+        bad = tmp_path / "corrupt.rps"
+        bad.write_bytes(bytes(blob))
+        return bad, tuple(victim["coords"])
+
+    def test_corrupt_chunk_error_names_the_chunk(self, corrupted):
+        bad, coords = corrupted
+        with Store(bad) as st:
+            with pytest.raises(CorruptChunkError, match=str(coords)) as exc:
+                st.read()
+            assert exc.value.coords == coords
+
+    def test_other_chunks_still_readable(self, corrupted, packed):
+        bad, coords = corrupted
+        _, report = packed
+        other = next(r.coords for r in report.chunks if r.coords != coords)
+        with Store(bad) as st:
+            st.read_chunk(other)  # does not raise
+            with pytest.raises(CorruptChunkError):
+                st.verify_all()
+
+    def test_verify_false_skips_checksum(self, corrupted):
+        bad, coords = corrupted
+        with Store(bad, verify=False) as st:
+            st.read_chunk(coords)  # decodes garbage rather than raising
+
+    def test_truncated_file_rejected_at_open(self, packed, tmp_path):
+        path, _ = packed
+        cut = tmp_path / "cut.rps"
+        cut.write_bytes(path.read_bytes()[:-10])
+        with pytest.raises(StoreFormatError, match="truncated"):
+            Store(cut)
+
+
+class TestStreamingSources:
+    def test_pack_from_memmap_matches_in_memory(self, fitted, field, packed, tmp_path):
+        path, _ = packed
+        raw = save_raw(field, tmp_path / "pressure.f32")
+        mm = open_raw(raw, SHAPE, dtype=np.float32)
+        assert isinstance(mm, np.memmap)
+        out = tmp_path / "memmap.rps"
+        pack(out, mm, fitted, TARGET, options=StoreOptions(chunk_shape=CHUNK))
+        assert out.read_bytes() == path.read_bytes()
+
+    def test_open_raw_size_mismatch(self, field, tmp_path):
+        raw = save_raw(field, tmp_path / "p.f32")
+        with pytest.raises(ValueError, match="bytes"):
+            open_raw(raw, (SHAPE[0] + 1, *SHAPE[1:]), dtype=np.float32)
+
+    def test_pack_accepts_field_objects(self, fitted, field, packed, tmp_path):
+        path, _ = packed
+        out = tmp_path / "field.rps"
+        pack(out, field, fitted, TARGET, options=StoreOptions(chunk_shape=CHUNK))
+        assert out.read_bytes() == path.read_bytes()
+
+
+class TestServicePredictor:
+    def test_service_route_matches_framework_route(self, fitted, field, packed, tmp_path):
+        from repro.api import Service
+
+        path, _ = packed
+        with Service(fitted) as service:
+            out1 = tmp_path / "svc1.rps"
+            pack(out1, field, service, TARGET, options=StoreOptions(chunk_shape=CHUNK))
+            assert out1.read_bytes() == path.read_bytes()
+            # Re-packing hits the service's content-addressed feature cache.
+            out2 = tmp_path / "svc2.rps"
+            pack(out2, field, service, TARGET, options=StoreOptions(chunk_shape=CHUNK))
+            stats = service.stats()
+            assert stats["cache"]["hits"] > 0
+
+
+class TestFeedbackWiring:
+    def test_pack_records_one_observation_per_chunk(self, fitted, field, tmp_path):
+        loop = FeedbackLoop(fitted, refresh_every=10_000)
+        report = pack(
+            tmp_path / "fb.rps",
+            field,
+            fitted,
+            TARGET,
+            options=StoreOptions(chunk_shape=CHUNK),
+            feedback=loop,
+        )
+        assert len(loop.observations) == report.n_chunks
+        for obs_, rec in zip(loop.observations, report.chunks):
+            assert obs_.error_bound == rec.error_bound
+            assert obs_.achieved_ratio == pytest.approx(rec.achieved_ratio)
+            assert obs_.target_ratio == pytest.approx(rec.target_ratio)
+
+    def test_feedback_retrain_improves_next_pack(self, field, tmp_path):
+        # Train only on the rough velocity fields; the smooth pressure field
+        # is mispredicted until its own pack outcomes are folded back in.
+        train = [
+            f for f in load_dataset("miranda", shape=CHUNK) if f.name.startswith("velocity")
+        ]
+        fw = CarolFramework(compressor="szx", rel_error_bounds=REL, n_iter=6, cv=2)
+        fw.fit(train)
+        opts = StoreOptions(chunk_shape=CHUNK, closed_loop=False)
+        loop = FeedbackLoop(fw, refresh_every=10_000)
+        before = pack(tmp_path / "b.rps", field, fw, TARGET, options=opts, feedback=loop)
+        loop.refresh()
+        assert loop.refreshes == 1
+        after = pack(tmp_path / "a.rps", field, fw, TARGET, options=opts)
+        assert after.budget_drift < before.budget_drift
+
+
+class TestValidation:
+    def test_unfitted_framework_rejected(self):
+        with pytest.raises(ValueError, match="not fitted"):
+            StoreWriter("x.rps", CarolFramework(compressor="szx"))
+
+    def test_bad_predictor_rejected(self):
+        with pytest.raises(TypeError, match="predictor"):
+            StoreWriter("x.rps", object())
+
+    def test_target_ratio_must_exceed_one(self, fitted, field, tmp_path):
+        with pytest.raises(ValueError, match="target_ratio"):
+            pack(tmp_path / "x.rps", field, fitted, 1.0)
+
+    def test_options_validation(self):
+        with pytest.raises(ValueError, match="chunk_elements"):
+            StoreOptions(chunk_elements=0)
+        with pytest.raises(ValueError, match="min_chunk_ratio"):
+            StoreOptions(min_chunk_ratio=0.5)
+
+    def test_store_exported_on_facades(self):
+        import repro
+        import repro.api
+
+        assert repro.Store is Store
+        assert repro.api.Store is Store
+        assert repro.api.StoreOptions is StoreOptions
+
+    def test_nonexistent_store(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            Store(tmp_path / "missing.rps")
+
+
+class TestAtomicityOfRawWrites:
+    def test_failed_save_leaves_target_untouched(self, tmp_path):
+        class Exploding:
+            nbytes = 8
+
+            def tofile(self, fh):
+                raise OSError("disk full")
+
+        target = tmp_path / "field.f32"
+        target.write_bytes(b"GOOD")
+        with pytest.raises(OSError, match="disk full"):
+            save_raw(Field("d", "v", Exploding()), target)
+        assert target.read_bytes() == b"GOOD"
+        assert list(tmp_path.glob("*.tmp")) == []

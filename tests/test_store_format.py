@@ -1,0 +1,127 @@
+"""Container format: header/footer framing, manifest round trip, corruption."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.store.format import (
+    FOOTER_BYTES,
+    HEADER_BYTES,
+    MAGIC,
+    CorruptChunkError,
+    StoreFormatError,
+    chunk_checksum,
+    json_safe,
+    read_manifest,
+    write_header,
+    write_manifest,
+)
+
+MANIFEST = {
+    "shape": [4, 4],
+    "dtype": "float32",
+    "chunk_shape": [2, 4],
+    "compressor": "szx",
+    "chunks": [],
+}
+
+
+def _write_store(path, manifest=MANIFEST, payload=b"\x01\x02\x03"):
+    with open(path, "wb") as fh:
+        write_header(fh)
+        fh.write(payload)
+        write_manifest(fh, manifest)
+    return path
+
+
+class TestFraming:
+    def test_manifest_roundtrip_bit_exact(self, tmp_path):
+        manifest = dict(MANIFEST, chunks=[{"coords": [0, 0], "offset": HEADER_BYTES,
+                                           "nbytes": 3, "checksum": chunk_checksum(b"abc")}])
+        path = _write_store(tmp_path / "x.rps", manifest)
+        with open(path, "rb") as fh:
+            loaded = read_manifest(fh, path)
+        assert loaded == json.loads(json.dumps(manifest))
+        # serialization is canonical (sorted keys): re-writing is bit-exact
+        a, b = tmp_path / "a.rps", tmp_path / "b.rps"
+        _write_store(a, manifest)
+        _write_store(b, loaded)
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_header_and_footer_sizes(self, tmp_path):
+        path = _write_store(tmp_path / "x.rps", MANIFEST, payload=b"")
+        blob = path.read_bytes()
+        assert blob.startswith(MAGIC)
+        assert len(blob) == HEADER_BYTES + len(json.dumps(MANIFEST, sort_keys=True)) + FOOTER_BYTES
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = _write_store(tmp_path / "x.rps")
+        blob = bytearray(path.read_bytes())
+        blob[0] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        with open(path, "rb") as fh:
+            with pytest.raises(StoreFormatError, match="magic"):
+                read_manifest(fh, path)
+
+    def test_truncated_file_rejected(self, tmp_path):
+        path = _write_store(tmp_path / "x.rps")
+        path.write_bytes(path.read_bytes()[:-4])
+        with open(path, "rb") as fh:
+            with pytest.raises(StoreFormatError, match="truncated"):
+                read_manifest(fh, path)
+
+    def test_tiny_file_rejected(self, tmp_path):
+        path = tmp_path / "x.rps"
+        path.write_bytes(b"abc")
+        with open(path, "rb") as fh:
+            with pytest.raises(StoreFormatError, match="too small"):
+                read_manifest(fh, path)
+
+    def test_unsupported_version_rejected(self, tmp_path):
+        path = _write_store(tmp_path / "x.rps")
+        blob = bytearray(path.read_bytes())
+        blob[12] = 0xFE  # version field follows the 12-byte magic
+        path.write_bytes(bytes(blob))
+        with open(path, "rb") as fh:
+            with pytest.raises(StoreFormatError, match="version"):
+                read_manifest(fh, path)
+
+    def test_missing_manifest_key_rejected(self, tmp_path):
+        bad = {k: v for k, v in MANIFEST.items() if k != "compressor"}
+        path = _write_store(tmp_path / "x.rps", bad)
+        with open(path, "rb") as fh:
+            with pytest.raises(StoreFormatError, match="compressor"):
+                read_manifest(fh, path)
+
+
+class TestChecksumsAndMeta:
+    def test_checksum_changes_with_payload(self):
+        assert chunk_checksum(b"abc") != chunk_checksum(b"abd")
+        assert chunk_checksum(b"abc") == chunk_checksum(b"abc")
+
+    def test_corrupt_chunk_error_names_chunk(self, tmp_path):
+        err = CorruptChunkError((1, 2, 3), tmp_path / "f.rps", "checksum mismatch")
+        assert "(1, 2, 3)" in str(err)
+        assert "f.rps" in str(err)
+        assert err.coords == (1, 2, 3)
+
+    def test_json_safe_numpy_types(self):
+        meta = {
+            "shape": (4, np.int64(8)),
+            "eb": np.float64(0.5),
+            "n": np.int32(7),
+            "arr": np.array([1, 2]),
+            "mode": "interp",
+            "flag": True,
+            "none": None,
+        }
+        safe = json_safe(meta)
+        assert json.loads(json.dumps(safe)) == safe
+        assert safe["shape"] == [4, 8]
+        assert safe["eb"] == 0.5
+        assert safe["arr"] == [1, 2]
+
+    def test_json_safe_rejects_opaque_objects(self):
+        with pytest.raises(TypeError, match="not JSON-serializable"):
+            json_safe({"bad": object()})
