@@ -12,7 +12,8 @@ The recommended entry point for applications::
     service = Service(carol)                   # batched + cached serving
     preds = service.predict_batch([(field.data, 16.0), (field.data, 32.0)])
 
-    Store.pack("field.rps", field, carol, target_ratio=16.0)
+    Store.pack("field.rps", field, carol, target_ratio=16.0,
+               options=StoreOptions(workers=4))  # wave-parallel, byte-identical
     with Store("field.rps") as st:             # chunked random-access reads
         sub = st[4:12, :, 20:40]
 

@@ -14,6 +14,9 @@ Commands mirror the library's workflow:
   ``repro.serve`` and report latency/throughput vs the unbatched
   baseline (exits non-zero if batched results diverge from sequential
   ones or the feature cache never hits);
+- ``pack-bench`` — pack one field with ``--workers 1`` and ``--workers N``
+  at the same wave size; exits non-zero on any byte divergence (and,
+  optionally, below ``--min-speedup``);
 - ``trace-summary`` — aggregate a ``--trace`` JSON into a per-stage table.
 
 ``train``, ``compress``, ``bench``, and ``serve-bench`` accept ``--trace out.json``:
@@ -270,6 +273,8 @@ def cmd_store_pack(args) -> int:
         chunk_elements=args.chunk_elements,
         closed_loop=not args.open_loop,
         safety=args.safety,
+        workers=args.workers,
+        wave_size=args.wave_size,
     )
     report = pack(args.out, source, fw, args.ratio, options=options)
     print(report.summary())
@@ -282,6 +287,82 @@ def cmd_store_pack(args) -> int:
         f"(target {worst.target_ratio:.2f})"
     )
     return 0
+
+
+def cmd_pack_bench(args) -> int:
+    """Serial-vs-parallel ``.rps`` packing comparison.
+
+    Packs one field with ``--workers 1`` and ``--workers N`` at the same
+    wave size, asserts the outputs are byte-identical (exit 1 on any
+    divergence — the determinism contract of the wave scheduler), and
+    reports the wall-clock speedup. ``--min-speedup`` turns the speedup
+    into a second failure condition (leave at 0 on single-core boxes,
+    where process parallelism cannot win by construction).
+    """
+    import os
+    import time
+    from pathlib import Path
+
+    from repro.store import StoreOptions, pack
+
+    if args.model:
+        fw = load_framework(args.model)
+    else:
+        from repro.api import FrameworkOptions
+
+        train = load_dataset(args.dataset, shape=tuple(args.train_shape))
+        opts = FrameworkOptions(
+            compressor=args.compressor,
+            rel_error_bounds=tuple(np.geomspace(args.eb_min, args.eb_max, args.n)),
+            n_iter=args.iters,
+            cv=2,
+        )
+        fw = opts.build(args.framework)
+        fw.fit(train)
+
+    source = _store_source(args)
+    out_dir = Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    wave = args.wave_size if args.wave_size is not None else 8
+    chunk = tuple(args.chunk) if args.chunk else None
+
+    def _pack(workers: int) -> tuple[Path, float, object]:
+        path = out_dir / f"pack-bench-w{workers}.rps"
+        options = StoreOptions(
+            chunk_shape=chunk,
+            chunk_elements=args.chunk_elements,
+            wave_size=wave,
+            workers=workers,
+        )
+        t0 = time.perf_counter()
+        report = pack(path, source, fw, args.ratio, options=options)
+        return path, time.perf_counter() - t0, report
+
+    print(
+        f"pack-bench: {args.source} shape={tuple(source.shape)} "
+        f"compressor={fw.compressor_name} ratio={args.ratio} wave_size={wave} "
+        f"(host has {os.cpu_count()} cpus)"
+    )
+    serial_path, serial_s, serial_report = _pack(1)
+    parallel_path, parallel_s, parallel_report = _pack(args.workers)
+    print(f"workers=1 {serial_s:>8.3f}s   {serial_report.summary()}")
+    print(f"workers={args.workers} {parallel_s:>7.3f}s   {parallel_report.summary()}")
+
+    ok = True
+    if serial_path.read_bytes() != parallel_path.read_bytes():
+        print(
+            f"FAIL: workers={args.workers} output diverges from workers=1 "
+            "(wave determinism broken)"
+        )
+        ok = False
+    else:
+        print(f"outputs byte-identical across worker counts ({serial_path.stat().st_size} bytes)")
+    speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    print(f"speedup   {speedup:>8.2f}x wall-clock at {args.workers} workers")
+    if args.min_speedup > 0 and speedup < args.min_speedup:
+        print(f"FAIL: speedup {speedup:.2f}x below required {args.min_speedup:.2f}x")
+        ok = False
+    return 0 if ok else 1
 
 
 def cmd_store_info(args) -> int:
@@ -479,8 +560,47 @@ def build_parser() -> argparse.ArgumentParser:
                    help="disable closed-loop budget redistribution")
     p.add_argument("--safety", type=float, default=0.0,
                    help="prediction bias toward overshooting each chunk's ratio")
+    p.add_argument("--workers", type=int, default=0,
+                   help="worker processes per wave (0 = in-process)")
+    p.add_argument("--wave-size", type=int, default=None,
+                   help="chunks per closed-loop re-target wave "
+                        "(default: 1 without workers, 8 with)")
     _add_trace_arg(p)
     p.set_defaults(func=cmd_store_pack)
+
+    p = sub.add_parser(
+        "pack-bench",
+        help="pack the same field with 1 and N workers; fail on byte divergence",
+    )
+    p.add_argument("source", nargs="?", default="miranda/pressure",
+                   help="raw file path (with --shape) or synthetic dataset/field")
+    p.add_argument("--model", default=None, help="saved .npz framework; trains one if omitted")
+    p.add_argument("--framework", choices=("carol", "fxrz"), default="carol")
+    p.add_argument("--compressor", choices=available_compressors(), default="sz3")
+    p.add_argument("--dataset", choices=DATASET_NAMES, default="miranda",
+                   help="training dataset when no --model is given")
+    p.add_argument("--train-shape", type=int, nargs="+", default=[16, 32, 64],
+                   help="training field shape (chunk-sized) when training")
+    p.add_argument("--ratio", type=float, default=10.0, help="whole-store target ratio")
+    p.add_argument("--shape", type=int, nargs="+", default=[64, 128, 128],
+                   help="bench field shape (required for raw file sources)")
+    p.add_argument("--dtype", default="float32", help="raw source dtype")
+    p.add_argument("--seed", type=int, default=3, help="synthetic dataset seed")
+    p.add_argument("--chunk", type=int, nargs="+", default=None, help="chunk shape")
+    p.add_argument("--chunk-elements", type=int, default=32768,
+                   help="target elements per chunk when --chunk is omitted")
+    p.add_argument("--workers", type=int, default=4, help="parallel worker count")
+    p.add_argument("--wave-size", type=int, default=None, help="chunks per wave (default 8)")
+    p.add_argument("--out-dir", default=".", help="where the two .rps files land")
+    p.add_argument("--min-speedup", type=float, default=0.0,
+                   help="also fail unless parallel is at least this much faster "
+                        "(0 disables; keep 0 on single-core machines)")
+    p.add_argument("--eb-min", type=float, default=1e-3)
+    p.add_argument("--eb-max", type=float, default=3e-1)
+    p.add_argument("-n", type=int, default=6, help="training error-bound grid size")
+    p.add_argument("--iters", type=int, default=4, help="training search iterations")
+    _add_trace_arg(p)
+    p.set_defaults(func=cmd_pack_bench)
 
     p = sub.add_parser("store-info", help="print a store's manifest summary")
     p.add_argument("store", help=".rps path")

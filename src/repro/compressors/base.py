@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import abc
+import hashlib
 import time
 from dataclasses import dataclass, field
 
@@ -10,6 +11,17 @@ import numpy as np
 
 from repro.obs import count, enabled, observe, span
 from repro.utils.validation import as_float_array, check_error_bound, require_finite
+
+
+def payload_checksum(payload: bytes) -> str:
+    """blake2b-64 hex digest of a compressed payload.
+
+    Stamped into every stream's metadata at compress time and verified
+    before decoding, so a truncated or bit-flipped payload raises a clean
+    ``ValueError`` instead of hanging in (or crashing out of) a decoder,
+    or silently reconstructing wrong data.
+    """
+    return hashlib.blake2b(payload, digest_size=8).hexdigest()
 
 
 def quantization_step(error_bound: float) -> float:
@@ -86,6 +98,7 @@ class LossyCompressor(abc.ABC):
         metadata.setdefault("shape", arr.shape)
         metadata.setdefault("error_bound", eb)
         metadata.setdefault("dtype", str(arr.dtype))
+        metadata.setdefault("payload_check", payload_checksum(payload))
         return CompressionResult(
             compressor=self.name,
             payload=payload,
@@ -100,6 +113,12 @@ class LossyCompressor(abc.ABC):
         if result.compressor != self.name:
             raise ValueError(
                 f"{self.name} cannot decode a {result.compressor!r} stream"
+            )
+        expected = result.metadata.get("payload_check")
+        if expected is not None and payload_checksum(result.payload) != expected:
+            raise ValueError(
+                f"{self.name}: payload failed its integrity check "
+                f"({len(result.payload)} bytes; stream truncated or corrupted)"
             )
         with span("compressor.decompress", codec=self.name,
                   bytes_in=result.compressed_bytes):

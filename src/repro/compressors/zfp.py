@@ -242,9 +242,12 @@ class ZFPCompressor(LossyCompressor):
             arr.astype(np.float64, copy=False), float(bits_per_value)
         )
         elapsed = _time.perf_counter() - start
+        from repro.compressors.base import payload_checksum
+
         metadata.setdefault("shape", arr.shape)
         metadata.setdefault("error_bound", 0.0)  # no bound in this mode
         metadata.setdefault("dtype", str(arr.dtype))
+        metadata.setdefault("payload_check", payload_checksum(payload))
         return CompressionResult(
             compressor=self.name,
             payload=payload,

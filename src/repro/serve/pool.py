@@ -117,6 +117,17 @@ class WorkerPool:
         unchanged (they would fail in-process too, and hiding them would
         turn bugs into silent fallbacks).
         """
+        return self.map_ordered(fn, tasks)
+
+    def map_ordered(self, fn, tasks, *, timeout: float | None = None) -> list:
+        """:meth:`run_many` with a per-call task timeout override.
+
+        ``timeout=None`` keeps the pool's default. Results are returned in
+        task order regardless of completion order — the guarantee the
+        store's wave scheduler relies on for deterministic commits.
+        """
+        tasks = [tuple(args) for args in tasks]
+        task_timeout = self.timeout if timeout is None else timeout
         self.stats.submitted += len(tasks)
         if self.n_workers == 0 or len(tasks) <= 1:
             return [self._run_inline(fn, args, fallback=False) for args in tasks]
@@ -135,7 +146,7 @@ class WorkerPool:
                 continue
             for i, future in futures:
                 try:
-                    results[i] = future.result(timeout=self.timeout)
+                    results[i] = future.result(timeout=task_timeout)
                     self.stats.completed += 1
                 except FutureTimeout:
                     self.stats.timeouts += 1

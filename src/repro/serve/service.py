@@ -82,6 +82,18 @@ def _extract_task(kind: str, stride: int | None, data: np.ndarray) -> np.ndarray
     return extract_features_parallel(data)[0]
 
 
+def worker_extract_spec(framework) -> tuple[str, int | None] | None:
+    """Picklable extractor description for ``_extract_task``, or None if
+    only the framework instance itself can extract (unknown subclass —
+    callers should stay in-process). Shared by the service's batched
+    prediction path and the store's wave packer."""
+    if type(framework) is FxrzFramework:
+        return ("fxrz", framework.feature_stride)
+    if type(framework) is CarolFramework:
+        return ("carol", None)
+    return None
+
+
 def _verify_task(compressor: str, data: np.ndarray, error_bound: float) -> float:
     """Worker-side compression-verification: the achieved ratio."""
     return float(get_compressor(compressor).compression_ratio(data, error_bound))
@@ -141,13 +153,9 @@ class PredictionService:
         return as_float_array(data)
 
     def _worker_extract_spec(self, framework) -> tuple[str, int | None] | None:
-        """Picklable extractor description, or None if only the framework
-        instance itself can extract (unknown subclass — stay in-process)."""
-        if type(framework) is FxrzFramework:
-            return ("fxrz", framework.feature_stride)
-        if type(framework) is CarolFramework:
-            return ("carol", None)
-        return None
+        """See :func:`worker_extract_spec` (kept as a method for callers
+        that resolve it through the service)."""
+        return worker_extract_spec(framework)
 
     # -- features --------------------------------------------------------------
 

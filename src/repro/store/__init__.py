@@ -21,7 +21,16 @@ Typical use::
 
 ``Store.pack`` accepts a :class:`~repro.data.fields.Field`, an ndarray,
 or an ``np.memmap`` (see :func:`open_raw`) — memmapped inputs stream
-through chunk by chunk, so fields larger than RAM never materialize.
+through one wave of chunks at a time, so fields larger than RAM never
+materialize.
+
+Packing parallelizes without changing a single byte:
+``StoreOptions(workers=N)`` fans each wave's feature extraction and
+compression across a :class:`repro.serve.WorkerPool`, and because
+budget re-targets happen only at wave boundaries (``wave_size`` chunks,
+default 8 with workers, 1 without) the output file is byte-identical
+for every worker count — ``wave_size=1`` is the classic serial loop
+bit-for-bit.
 """
 
 from repro.store.chunking import Chunk, ChunkGrid, default_chunk_shape

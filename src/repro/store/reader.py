@@ -116,6 +116,10 @@ class StoreReader:
         payload = self._read_payload(entry)
         meta = dict(entry["meta"])
         meta["shape"] = tuple(meta["shape"])
+        if not self.verify:
+            # verify=False opts out of integrity work at *both* levels:
+            # the store's blake2b and the codec's own payload check.
+            meta.pop("payload_check", None)
         result = CompressionResult(
             compressor=self.compressor,
             payload=payload,

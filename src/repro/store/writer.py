@@ -1,19 +1,30 @@
-"""Streaming store writer with a closed-loop byte budget.
+"""Streaming store writer with a closed-loop byte budget and wave parallelism.
 
 :class:`StoreWriter` turns "this field must fit N bytes" into a chunked
 ``.rps`` container: it walks a deterministic :class:`~repro.store.chunking.ChunkGrid`
 over the input, predicts each chunk's error bound through a fitted
 framework (or a :class:`repro.serve.PredictionService`, inheriting its
 feature cache), compresses, and appends the payload — the input is only
-ever touched one chunk at a time, so fields loaded via ``np.memmap``
+ever touched one *wave* at a time, so fields loaded via ``np.memmap``
 stream through without materializing.
 
-The byte budget is *closed-loop*: after each chunk lands, the remaining
+The byte budget is *closed-loop*: after each wave lands, the remaining
 budget is redistributed over the remaining raw bytes, so a chunk that
 came in over target raises the ratio asked of later chunks (and vice
 versa) instead of letting the error accumulate. Open-loop mode
 (``closed_loop=False``) asks every chunk for the global target — the
 per-chunk-prediction baseline the closed loop is measured against.
+
+**Wave parallelism.** The pack loop is organized into deterministic
+waves of ``wave_size`` chunks (flat chunk-id order). All chunks in a
+wave share one re-target computed from the budget state at the wave
+boundary; their feature extraction and compression fan out across a
+:class:`repro.serve.WorkerPool` (``workers > 0``) and the payloads are
+committed to the file strictly in chunk-id order. Because the re-target
+sequence depends only on ``wave_size`` — never on ``workers`` — the
+output file is **byte-identical for every worker count**, including the
+in-process ``workers=0`` path. ``wave_size=1`` degenerates to the
+original serial chunk-at-a-time loop bit-for-bit.
 
 Every ``(features, error bound, achieved ratio, target)`` outcome can be
 fed to a :class:`repro.core.feedback.FeedbackLoop` (``feedback=``): a
@@ -28,10 +39,18 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.compressors.registry import get_compressor
+from repro.core.framework import Prediction
 from repro.obs import count, observe, set_gauge, timed_span
+from repro.serve.service import _extract_task, worker_extract_spec
 from repro.store.chunking import DEFAULT_CHUNK_ELEMENTS, ChunkGrid
 from repro.store.format import chunk_checksum, json_safe, write_header, write_manifest
 from repro.utils.validation import as_float_array
+
+#: Wave width used when ``wave_size`` is unset and ``workers > 0``. A
+#: constant (never derived from the worker count) so every worker count
+#: re-targets at the same chunk boundaries and produces the same bytes.
+DEFAULT_WAVE_SIZE = 8
 
 
 @dataclass(frozen=True)
@@ -44,6 +63,13 @@ class StoreOptions:
     per-chunk targets the closed loop may request, keeping one badly
     mispredicted chunk from driving the next target somewhere the model
     was never trained.
+
+    ``workers`` fans each wave's feature extraction and compression out
+    over a process pool (0 keeps everything in-process). ``wave_size``
+    sets how many chunks share one closed-loop re-target; ``None`` means
+    1 without workers (the classic serial loop) and
+    :data:`DEFAULT_WAVE_SIZE` with them. The packed bytes depend on
+    ``wave_size`` but **not** on ``workers``.
     """
 
     chunk_shape: tuple[int, ...] | None = None
@@ -52,6 +78,9 @@ class StoreOptions:
     safety: float = 0.0
     min_chunk_ratio: float = 1.01
     max_chunk_ratio: float = 1e4
+    workers: int = 0
+    wave_size: int | None = None
+    timeout_seconds: float = 120.0
 
     def __post_init__(self) -> None:
         if self.chunk_shape is not None:
@@ -60,6 +89,17 @@ class StoreOptions:
             raise ValueError("chunk_elements must be >= 1")
         if not 1.0 <= self.min_chunk_ratio <= self.max_chunk_ratio:
             raise ValueError("need 1 <= min_chunk_ratio <= max_chunk_ratio")
+        if self.workers < 0:
+            raise ValueError("workers must be >= 0")
+        if self.wave_size is not None and self.wave_size < 1:
+            raise ValueError("wave_size must be >= 1")
+
+    @property
+    def resolved_wave_size(self) -> int:
+        """The wave width actually used (resolves the ``None`` default)."""
+        if self.wave_size is not None:
+            return int(self.wave_size)
+        return DEFAULT_WAVE_SIZE if self.workers > 0 else 1
 
     def grid_for(self, shape: tuple[int, ...]) -> ChunkGrid:
         return ChunkGrid.for_shape(shape, self.chunk_shape, self.chunk_elements)
@@ -88,10 +128,17 @@ class PackReport:
     stored_bytes: int
     file_bytes: int
     chunks: list[ChunkWriteRecord] = dc_field(default_factory=list)
+    wave_size: int = 1
+    workers: int = 0
+    pool_stats: dict = dc_field(default_factory=dict)
 
     @property
     def n_chunks(self) -> int:
         return len(self.chunks)
+
+    @property
+    def n_waves(self) -> int:
+        return -(-self.n_chunks // self.wave_size) if self.n_chunks else 0
 
     @property
     def achieved_ratio(self) -> float:
@@ -110,7 +157,8 @@ class PackReport:
             f"{self.original_bytes} -> {self.stored_bytes} bytes, "
             f"ratio {self.achieved_ratio:.2f} (target {self.target_ratio:.2f}, "
             f"drift {100.0 * self.budget_drift:.1f}%, "
-            f"{'closed' if self.closed_loop else 'open'}-loop)"
+            f"{'closed' if self.closed_loop else 'open'}-loop, "
+            f"{self.n_waves} waves x {self.wave_size}, {self.workers} workers)"
         )
 
 
@@ -134,7 +182,7 @@ def open_raw(path, shape: tuple[int, ...], dtype=np.float32) -> np.memmap:
     """Memory-map a headerless SDRBench-style raw file for packing.
 
     The returned memmap streams through :meth:`StoreWriter.write` one
-    chunk at a time — fields larger than RAM never fully materialize.
+    wave at a time — fields larger than RAM never fully materialize.
     """
     path = Path(path)
     dtype = np.dtype(dtype)
@@ -146,6 +194,15 @@ def open_raw(path, shape: tuple[int, ...], dtype=np.float32) -> np.memmap:
             f"dtype {dtype} needs {expected}"
         )
     return np.memmap(path, dtype=dtype, mode="r", shape=tuple(shape))
+
+
+def _compress_task(codec_name: str, data: np.ndarray, error_bound: float):
+    """Worker-side chunk compression (module-level for pickling).
+
+    Deterministic: the payload depends only on ``(data, error_bound)``,
+    so in-process and worker execution produce identical bytes.
+    """
+    return get_compressor(codec_name).compress(data, error_bound)
 
 
 class StoreWriter:
@@ -177,21 +234,70 @@ class StoreWriter:
 
     # -- prediction --------------------------------------------------------------
 
-    def _predict(self, chunk_arr: np.ndarray, target: float):
+    def _predict_wave(self, arrays: list[np.ndarray], target: float, pool) -> list[Prediction]:
+        """Error-bound predictions for one wave, in chunk order.
+
+        Single-chunk waves follow the same batched code path — the
+        batched entry points are bitwise-identical to their scalar
+        counterparts, so ``wave_size=1`` reproduces the serial pack.
+        """
+        opts = self.options
         if self._service is not None:
-            return self._service.predict(chunk_arr, target, safety=self.options.safety)
-        return self._framework.predict_error_bound(
-            chunk_arr, target, safety=self.options.safety
-        )
+            # The service batches, caches, and (optionally) fans out with
+            # its own pool; results are bitwise-identical to service.predict.
+            return list(
+                self._service.predict_batch(
+                    [(arr, target) for arr in arrays], safety=opts.safety
+                )
+            )
+        framework = self._framework
+        if pool is not None and len(arrays) > 1:
+            spec = worker_extract_spec(framework)
+            if spec is not None:
+                kind, stride = spec
+                rows = pool.map_ordered(
+                    _extract_task, [(kind, stride, arr) for arr in arrays]
+                )
+                F = np.stack([np.asarray(r, dtype=np.float64) for r in rows])
+            else:
+                F = framework.extract_features_many(arrays)
+        else:
+            F = framework.extract_features_many(arrays)
+        ratios = np.full(len(arrays), float(target))
+        ebs = framework.model.predict_error_bound_batch(F, ratios, safety=opts.safety)
+        return [
+            Prediction(float(eb), float(target), F[i], 0.0, 0.0)
+            for i, eb in enumerate(ebs)
+        ]
 
     # -- packing -----------------------------------------------------------------
+
+    def _wave_target(
+        self, target_ratio: float, budget: float, spent: int, raw_remaining: int
+    ) -> float:
+        """The shared target for the next wave, from the budget state.
+
+        Hardened against budget exhaustion mid-pack: the remaining budget
+        is floored at one byte (never zero, so the division is safe) and
+        the result is clamped into ``[min_chunk_ratio, max_chunk_ratio]``
+        — an impossibly tight budget asks for the ceiling ratio instead
+        of a nonsensical (or < 1) target.
+        """
+        opts = self.options
+        if not opts.closed_loop:
+            return target_ratio
+        remaining_budget = max(budget - spent, 1.0)
+        if raw_remaining <= 0:
+            return opts.max_chunk_ratio
+        target = raw_remaining / remaining_budget
+        return min(max(target, opts.min_chunk_ratio), opts.max_chunk_ratio)
 
     def write(self, source, target_ratio: float, *, feedback=None) -> PackReport:
         """Pack ``source`` to ``target_ratio``; returns a :class:`PackReport`.
 
         ``feedback``, if given, is a :class:`repro.core.feedback.FeedbackLoop`
         (or anything with its ``record`` signature): every chunk's measured
-        outcome is recorded as a training observation.
+        outcome is recorded as a training observation, in chunk-id order.
         """
         target_ratio = float(target_ratio)
         if target_ratio <= 1.0:
@@ -200,6 +306,7 @@ class StoreWriter:
         opts = self.options
         grid = opts.grid_for(arr.shape)
         codec = self._framework._codec
+        wave_size = opts.resolved_wave_size
 
         original_bytes = int(arr.nbytes)
         budget = original_bytes / target_ratio
@@ -207,86 +314,120 @@ class StoreWriter:
         spent = 0
         entries: list[dict] = []
         records: list[ChunkWriteRecord] = []
+        chunks = list(grid)
+
+        pool = None
+        if opts.workers > 0:
+            from repro.serve.pool import WorkerPool
+
+            pool = WorkerPool(
+                opts.workers, timeout=opts.timeout_seconds, name="store.pool"
+            )
 
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        with timed_span(
-            "store.pack",
-            path=str(self.path),
-            n_chunks=grid.n_chunks,
-            target_ratio=target_ratio,
-            closed_loop=opts.closed_loop,
-        ):
-            with open(self.path, "wb") as fh:
-                offset = write_header(fh)
-                for chunk in grid:
-                    # One chunk in RAM at a time: a memmap source is read
-                    # page-by-page here, never materialized whole.
-                    chunk_arr = np.ascontiguousarray(arr[chunk.slices])
-                    chunk_raw = int(chunk_arr.nbytes)
-                    if opts.closed_loop:
-                        remaining_budget = max(budget - spent, 1.0)
-                        chunk_target = raw_remaining / remaining_budget
-                        chunk_target = min(
-                            max(chunk_target, opts.min_chunk_ratio), opts.max_chunk_ratio
+        try:
+            with timed_span(
+                "store.pack",
+                path=str(self.path),
+                n_chunks=grid.n_chunks,
+                target_ratio=target_ratio,
+                closed_loop=opts.closed_loop,
+                workers=opts.workers,
+                wave_size=wave_size,
+            ):
+                with open(self.path, "wb") as fh:
+                    offset = write_header(fh)
+                    for wave_index, start in enumerate(range(0, len(chunks), wave_size)):
+                        wave = chunks[start : start + wave_size]
+                        wave_target = self._wave_target(
+                            target_ratio, budget, spent, raw_remaining
                         )
-                    else:
-                        chunk_target = target_ratio
-                    with timed_span(
-                        "store.pack.chunk", coords=chunk.coords, target_ratio=chunk_target
-                    ):
-                        pred = self._predict(chunk_arr, chunk_target)
-                        result = codec.compress(chunk_arr, pred.error_bound)
-                    payload = result.payload
-                    fh.write(payload)
-                    if feedback is not None:
-                        feedback.record(
-                            pred.features, pred.error_bound, result.ratio, chunk_target
-                        )
-                    spent += result.compressed_bytes
-                    raw_remaining -= chunk_raw
-                    count("store.chunks_written")
-                    count("store.bytes_written", len(payload))
-                    observe("store.chunk.achieved_ratio", result.ratio)
-                    entries.append(
-                        {
-                            "coords": list(chunk.coords),
-                            "offset": offset,
-                            "nbytes": len(payload),
-                            "error_bound": float(pred.error_bound),
-                            "target_ratio": float(chunk_target),
-                            "achieved_ratio": float(result.ratio),
-                            "raw_bytes": chunk_raw,
-                            "checksum": chunk_checksum(payload),
-                            "meta": json_safe(result.metadata),
-                        }
-                    )
-                    records.append(
-                        ChunkWriteRecord(
-                            coords=chunk.coords,
-                            target_ratio=float(chunk_target),
-                            error_bound=float(pred.error_bound),
-                            achieved_ratio=float(result.ratio),
-                            raw_bytes=chunk_raw,
-                            stored_bytes=result.compressed_bytes,
-                        )
-                    )
-                    offset += len(payload)
-                manifest = {
-                    "version": 1,
-                    "compressor": codec.name,
-                    "framework": self._framework.name,
-                    "shape": list(arr.shape),
-                    "dtype": str(arr.dtype),
-                    "chunk_shape": list(grid.chunk_shape),
-                    "grid_shape": list(grid.grid_shape),
-                    "target_ratio": target_ratio,
-                    "closed_loop": opts.closed_loop,
-                    "safety": opts.safety,
-                    "original_bytes": original_bytes,
-                    "stored_bytes": spent,
-                    "chunks": entries,
-                }
-                manifest_bytes = write_manifest(fh, manifest)
+                        with timed_span(
+                            "store.pack.wave",
+                            index=wave_index,
+                            n_chunks=len(wave),
+                            target_ratio=wave_target,
+                        ):
+                            # One wave in RAM at a time: a memmap source is
+                            # read page-by-page here, never materialized whole.
+                            arrays = [
+                                np.ascontiguousarray(arr[c.slices]) for c in wave
+                            ]
+                            preds = self._predict_wave(arrays, wave_target, pool)
+                            tasks = [
+                                (codec.name, a, p.error_bound)
+                                for a, p in zip(arrays, preds)
+                            ]
+                            if pool is not None and len(tasks) > 1:
+                                results = pool.map_ordered(_compress_task, tasks)
+                            else:
+                                results = [_compress_task(*t) for t in tasks]
+                        count("store.pack.waves")
+                        # Ordered commit: payloads land in chunk-id order no
+                        # matter which worker finished first.
+                        for chunk, chunk_arr, pred, result in zip(
+                            wave, arrays, preds, results
+                        ):
+                            payload = result.payload
+                            chunk_raw = int(chunk_arr.nbytes)
+                            fh.write(payload)
+                            if feedback is not None:
+                                feedback.record(
+                                    pred.features,
+                                    pred.error_bound,
+                                    result.ratio,
+                                    wave_target,
+                                )
+                            spent += result.compressed_bytes
+                            raw_remaining -= chunk_raw
+                            count("store.chunks_written")
+                            count("store.bytes_written", len(payload))
+                            observe("store.chunk.achieved_ratio", result.ratio)
+                            entries.append(
+                                {
+                                    "coords": list(chunk.coords),
+                                    "offset": offset,
+                                    "nbytes": len(payload),
+                                    "error_bound": float(pred.error_bound),
+                                    "target_ratio": float(wave_target),
+                                    "achieved_ratio": float(result.ratio),
+                                    "raw_bytes": chunk_raw,
+                                    "checksum": chunk_checksum(payload),
+                                    "meta": json_safe(result.metadata),
+                                }
+                            )
+                            records.append(
+                                ChunkWriteRecord(
+                                    coords=chunk.coords,
+                                    target_ratio=float(wave_target),
+                                    error_bound=float(pred.error_bound),
+                                    achieved_ratio=float(result.ratio),
+                                    raw_bytes=chunk_raw,
+                                    stored_bytes=result.compressed_bytes,
+                                )
+                            )
+                            offset += len(payload)
+                    manifest = {
+                        "version": 1,
+                        "compressor": codec.name,
+                        "framework": self._framework.name,
+                        "shape": list(arr.shape),
+                        "dtype": str(arr.dtype),
+                        "chunk_shape": list(grid.chunk_shape),
+                        "grid_shape": list(grid.grid_shape),
+                        "target_ratio": target_ratio,
+                        "closed_loop": opts.closed_loop,
+                        "safety": opts.safety,
+                        "original_bytes": original_bytes,
+                        "stored_bytes": spent,
+                        "chunks": entries,
+                    }
+                    manifest_bytes = write_manifest(fh, manifest)
+        finally:
+            pool_stats = {}
+            if pool is not None:
+                pool_stats = pool.stats.as_dict()
+                pool.shutdown()
         report = PackReport(
             path=self.path,
             target_ratio=target_ratio,
@@ -295,9 +436,20 @@ class StoreWriter:
             stored_bytes=spent,
             file_bytes=offset + manifest_bytes,
             chunks=records,
+            wave_size=wave_size,
+            workers=opts.workers,
+            pool_stats=pool_stats,
         )
         observe("store.pack.budget_drift", report.budget_drift)
         set_gauge("store.pack.achieved_ratio", report.achieved_ratio)
+        if pool_stats:
+            # Worker utilization: share of tasks that actually completed on
+            # the pool (fallbacks ran in-process, so they don't count).
+            submitted = max(pool_stats.get("submitted", 0), 1)
+            on_pool = pool_stats.get("completed", 0) - pool_stats.get("fallbacks", 0)
+            set_gauge("store.pack.worker_utilization", max(on_pool, 0) / submitted)
+            count("store.pack.worker_fallbacks", pool_stats.get("fallbacks", 0))
+            count("store.pack.worker_timeouts", pool_stats.get("timeouts", 0))
         return report
 
 

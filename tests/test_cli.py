@@ -16,7 +16,7 @@ class TestParser:
         assert set(sub.choices) >= {
             "datasets", "estimate", "train", "predict", "compress", "bench",
             "serve-bench", "store-pack", "store-info", "store-unpack",
-            "trace-summary",
+            "pack-bench", "trace-summary",
         }
 
 
@@ -169,6 +169,60 @@ class TestStoreCommands:
         rc = main(["store-unpack", str(store), "--verify-against", str(other)])
         assert rc == 1
         assert "FAIL" in capsys.readouterr().out
+
+
+class TestStorePackWorkers:
+    def test_parallel_pack_matches_serial_bytes(self, tmp_path, capsys):
+        """store-pack --workers N writes the same bytes as the serial pack
+        at the same wave size (the CLI face of wave determinism)."""
+        model = tmp_path / "model.npz"
+        assert main([
+            "train", "--datasets", "miranda", "--shape", "8", "16", "16",
+            "--compressor", "szx", "--out", str(model),
+            "--eb-min", "1e-3", "--eb-max", "3e-1", "-n", "5", "--iters", "4",
+        ]) == 0
+        blobs = {}
+        for workers in (0, 2):
+            out = tmp_path / f"w{workers}.rps"
+            assert main([
+                "store-pack", "miranda/pressure", "--shape", "16", "16", "16",
+                "--chunk", "8", "16", "16", "--model", str(model),
+                "--ratio", "6", "--out", str(out),
+                "--workers", str(workers), "--wave-size", "2",
+            ]) == 0
+            blobs[workers] = out.read_bytes()
+        assert blobs[2] == blobs[0]
+
+
+class TestPackBench:
+    def test_trains_packs_and_verifies_determinism(self, tmp_path, capsys):
+        rc = main([
+            "pack-bench", "miranda/viscosity", "--shape", "16", "16", "16",
+            "--train-shape", "8", "16", "16", "--chunk", "8", "16", "16",
+            "--compressor", "szx", "--workers", "2", "--ratio", "5",
+            "--out-dir", str(tmp_path), "-n", "5", "--iters", "3",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "byte-identical" in out
+        assert "speedup" in out
+        assert (tmp_path / "pack-bench-w1.rps").exists()
+        assert (tmp_path / "pack-bench-w2.rps").exists()
+
+    def test_min_speedup_gate_can_fail(self, tmp_path, capsys):
+        """An absurd --min-speedup must flip the exit code (the byte check
+        itself still passes)."""
+        rc = main([
+            "pack-bench", "miranda/viscosity", "--shape", "16", "16", "16",
+            "--train-shape", "8", "16", "16", "--chunk", "8", "16", "16",
+            "--compressor", "szx", "--workers", "2", "--ratio", "5",
+            "--out-dir", str(tmp_path), "-n", "5", "--iters", "3",
+            "--min-speedup", "1e9",
+        ])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "byte-identical" in out
+        assert "below required" in out
 
 
 class TestServeBench:

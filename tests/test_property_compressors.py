@@ -1,0 +1,46 @@
+"""Property: compression ratio is monotone in the error bound.
+
+Both FXRZ and CAROL budget bytes by inverting the ratio-vs-error-bound
+curve, which only works if the curve is monotone: shrinking the error
+bound must never *increase* the achieved ratio. Plateaus are fine
+(quantization granularity), inversions are a codec bug. Checked for
+every registered compressor over seeded synthetic fields drawn from the
+shared ``property_rng`` fixture (reproduce failures via
+``REPRO_TEST_SEED``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.compressors import available_compressors, get_compressor
+
+ALL = available_compressors()
+
+#: error bounds from loose to tight; ratios must be non-increasing along it
+ERROR_BOUNDS = np.geomspace(3e-1, 1e-4, 8)
+
+#: tolerance for "equal" — plateaus pass, genuine inversions fail
+_EPS = 1e-12
+
+
+def _fields(rng):
+    smooth3d = np.cumsum(np.cumsum(rng.standard_normal((12, 16, 18)), 0), 1) / 8
+    smooth2d = np.cumsum(rng.standard_normal((32, 40)), axis=0) / 4
+    rough1d = rng.standard_normal(2048)
+    return {"smooth3d": smooth3d, "smooth2d": smooth2d, "rough1d": rough1d}
+
+
+@pytest.mark.parametrize("name", ALL)
+@pytest.mark.parametrize("kind", ["smooth3d", "smooth2d", "rough1d"])
+def test_ratio_monotone_in_error_bound(name, kind, property_rng):
+    codec = get_compressor(name)
+    field = _fields(property_rng)[kind]
+    ratios = [codec.compress(field, float(eb)).ratio for eb in ERROR_BOUNDS]
+    for i in range(1, len(ratios)):
+        assert ratios[i] <= ratios[i - 1] * (1.0 + _EPS), (
+            f"{name} on {kind}: tightening eb {ERROR_BOUNDS[i - 1]:g} -> "
+            f"{ERROR_BOUNDS[i]:g} raised the ratio "
+            f"{ratios[i - 1]:.6f} -> {ratios[i]:.6f}"
+        )
+    # the sweep must actually exercise the curve, not sit on one plateau
+    assert ratios[0] > ratios[-1]

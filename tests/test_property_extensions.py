@@ -26,8 +26,8 @@ class TestCuSZpProperties:
 
     @given(st.integers(2, 128))
     @settings(**_SETTINGS)
-    def test_any_block_size(self, bs):
-        rng = np.random.default_rng(bs)
+    def test_any_block_size(self, property_seed, bs):
+        rng = np.random.default_rng([property_seed, bs])
         x = np.cumsum(rng.standard_normal(257))
         out, _ = CuSZpCompressor(block_size=bs).roundtrip(x, 1e-3)
         assert np.abs(out - x).max() <= 1e-3

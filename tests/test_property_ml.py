@@ -42,8 +42,10 @@ class TestTreeProperties:
 class TestSpaceProperties:
     @given(st.integers(0, 2**31 - 1))
     @settings(**_SETTINGS)
-    def test_sample_encode_decode_identity(self, seed):
-        rng = np.random.default_rng(seed)
+    def test_sample_encode_decode_identity(self, property_seed, seed):
+        # mix the shared session seed with the hypothesis-drawn one so the
+        # sweep is reproducible via REPRO_TEST_SEED yet varies per example
+        rng = np.random.default_rng([property_seed, seed])
         for space in (PAPER_SPACE, SCALED_SPACE):
             params = space.sample(rng)
             assert space.decode(space.encode(params)) == params

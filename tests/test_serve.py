@@ -145,6 +145,37 @@ class TestWorkerPool:
         with pytest.raises(ValueError):
             WorkerPool(1, max_pending=0)
 
+    def test_map_ordered_preserves_task_order(self):
+        with WorkerPool(2, max_pending=3) as pool:
+            out = pool.map_ordered(_square, [(i,) for i in range(8)])
+        assert out == [i * i for i in range(8)]
+
+    def test_map_ordered_in_process(self):
+        pool = WorkerPool(0)
+        assert pool.map_ordered(_square, [(i,) for i in range(4)]) == [0, 1, 4, 9]
+        assert pool.stats.completed == 4
+
+    def test_map_ordered_timeout_override(self):
+        """A per-call timeout overrides the pool default; the slow task
+        falls back in-process and order is still preserved."""
+        with WorkerPool(2, timeout=60.0) as pool:
+            out = pool.map_ordered(_slow, [(1, 0.0), (2, 2.0), (3, 0.0)], timeout=0.2)
+        assert out == [1, 2, 3]
+        assert pool.stats.timeouts == 1
+        assert pool.stats.fallbacks == 1
+
+    def test_map_ordered_none_timeout_keeps_pool_default(self):
+        with WorkerPool(2, timeout=0.2) as pool:
+            out = pool.map_ordered(_slow, [(1, 0.0), (2, 2.0), (3, 0.0)], timeout=None)
+        assert out == [1, 2, 3]
+        assert pool.stats.timeouts == 1
+
+    def test_run_many_is_map_ordered_without_override(self):
+        with WorkerPool(2) as pool:
+            assert pool.run_many(_square, [(i,) for i in range(5)]) == pool.map_ordered(
+                _square, [(i,) for i in range(5)]
+            )
+
 
 class TestModelRegistry:
     def test_lazy_load_and_get(self, fitted, tmp_path):

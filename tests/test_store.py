@@ -309,6 +309,132 @@ class TestValidation:
             Store(tmp_path / "missing.rps")
 
 
+class TestParallelPacking:
+    """Wave-parallel packing must be byte-identical for every worker count."""
+
+    def _pack(self, fitted, field, path, **opts):
+        return pack(
+            path, field, fitted, TARGET, options=StoreOptions(chunk_shape=CHUNK, **opts)
+        )
+
+    def test_bytes_identical_across_worker_counts(self, fitted, field, tmp_path):
+        blobs = {}
+        for workers in (0, 1, 2, 4):
+            out = tmp_path / f"w{workers}.rps"
+            report = self._pack(fitted, field, out, workers=workers, wave_size=8)
+            blobs[workers] = out.read_bytes()
+            assert report.workers == workers
+            assert report.wave_size == 8
+        assert blobs[1] == blobs[0]
+        assert blobs[2] == blobs[0]
+        assert blobs[4] == blobs[0]
+
+    def test_wave_size_one_reproduces_serial_pack(self, fitted, field, packed, tmp_path):
+        """wave_size=1 is the old chunk-at-a-time loop bit-for-bit, even
+        with workers enabled (the default `packed` fixture is serial)."""
+        path, _ = packed
+        out = tmp_path / "wave1.rps"
+        self._pack(fitted, field, out, workers=2, wave_size=1)
+        assert out.read_bytes() == path.read_bytes()
+
+    def test_wave_report_accounting(self, fitted, field, tmp_path):
+        report = self._pack(fitted, field, tmp_path / "r.rps", workers=2, wave_size=8)
+        assert report.n_waves == -(-report.n_chunks // 8)
+        assert "waves" in report.summary()
+        # the pool actually saw work (completed includes in-process fallbacks)
+        assert report.pool_stats["submitted"] > 0
+        assert report.pool_stats["completed"] == report.pool_stats["submitted"]
+
+    def test_serial_pack_reports_no_pool(self, packed):
+        _, report = packed
+        assert report.workers == 0
+        assert report.wave_size == 1
+        assert report.n_waves == report.n_chunks
+        assert report.pool_stats == {}
+
+    def test_retarget_boundaries_follow_wave_size(self, fitted, field, tmp_path):
+        """Within one wave every chunk shares one target; targets may only
+        change at wave boundaries."""
+        report = self._pack(fitted, field, tmp_path / "wt.rps", wave_size=4)
+        targets = [c.target_ratio for c in report.chunks]
+        for start in range(0, len(targets), 4):
+            assert len(set(targets[start : start + 4])) == 1
+        assert len(set(targets)) > 1  # the closed loop still re-targets
+
+    def test_resolved_wave_size_defaults(self):
+        from repro.store.writer import DEFAULT_WAVE_SIZE
+
+        assert StoreOptions().resolved_wave_size == 1
+        assert StoreOptions(workers=2).resolved_wave_size == DEFAULT_WAVE_SIZE
+        assert StoreOptions(workers=2, wave_size=3).resolved_wave_size == 3
+        assert StoreOptions(wave_size=5).resolved_wave_size == 5
+
+    def test_parallel_options_validation(self):
+        with pytest.raises(ValueError, match="workers"):
+            StoreOptions(workers=-1)
+        with pytest.raises(ValueError, match="wave_size"):
+            StoreOptions(wave_size=0)
+
+    def test_wave_metrics_emitted(self, fitted, field, tmp_path):
+        obs.enable()  # clears the metrics registry
+        try:
+            report = self._pack(fitted, field, tmp_path / "m.rps", workers=2, wave_size=8)
+            reg = obs.registry()
+            assert reg.counter("store.pack.waves").value == report.n_waves
+            util = reg.gauge("store.pack.worker_utilization").value
+            assert 0.0 <= util <= 1.0
+        finally:
+            obs.disable()
+
+
+class TestBudgetExhaustion:
+    def test_impossibly_tight_budget_never_divides_by_zero(
+        self, fitted, field, tmp_path
+    ):
+        """A budget smaller than any achievable pack must clamp the wave
+        target to max_chunk_ratio and finish — never raise ZeroDivisionError
+        or ask for a target below 1."""
+        opts = StoreOptions(chunk_shape=CHUNK, wave_size=4)
+        report = pack(tmp_path / "tight.rps", field, fitted, 9000.0, options=opts)
+        assert report.n_chunks > 0
+        for rec in report.chunks:
+            assert np.isfinite(rec.target_ratio)
+            assert 1.0 < rec.target_ratio <= opts.max_chunk_ratio
+        # budget is blown (the model can't reach ratio 9000) but the file
+        # is complete and readable
+        assert report.achieved_ratio < 9000.0
+        with Store(tmp_path / "tight.rps") as st:
+            assert st.read().shape == field.data.shape
+
+    def test_wave_target_clamps_at_exhaustion(self, fitted):
+        writer = StoreWriter("unused.rps", fitted)
+        opts = writer.options
+        # budget fully spent: the remaining budget floors at 1 byte, so the
+        # division is safe and asks for raw_remaining : 1
+        assert (
+            writer._wave_target(TARGET, budget=100.0, spent=100, raw_remaining=4096)
+            == 4096.0
+        )
+        # spent *past* the budget: same floor, still finite
+        assert (
+            writer._wave_target(TARGET, budget=100.0, spent=10_000, raw_remaining=4096)
+            == 4096.0
+        )
+        # exhausted budget with lots of raw data left: clamped to the ceiling
+        assert (
+            writer._wave_target(TARGET, budget=100.0, spent=100, raw_remaining=10**6)
+            == opts.max_chunk_ratio
+        )
+        # no raw bytes left: ceiling, not 0/x
+        assert (
+            writer._wave_target(TARGET, budget=100.0, spent=10, raw_remaining=0)
+            == opts.max_chunk_ratio
+        )
+        # healthy state: plain redistribution, inside the clamp window
+        t = writer._wave_target(TARGET, budget=1000.0, spent=100, raw_remaining=7200)
+        assert t == pytest.approx(7200 / 900)
+
+
 class TestAtomicityOfRawWrites:
     def test_failed_save_leaves_target_untouched(self, tmp_path):
         class Exploding:
