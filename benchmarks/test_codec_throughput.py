@@ -4,13 +4,22 @@ Unlike the table/figure harnesses (single-shot experiments), these use
 pytest-benchmark's normal multi-round mode so throughput regressions in the
 codecs show up as statistically meaningful deltas. The grouping mirrors the
 paper's split: high-throughput (szx, cuszp, zfp) vs high-ratio (sz3, sperr).
+
+``test_encoding_kernel_speedups`` additionally runs the codec-bench harness
+(:mod:`repro.bench.codec_bench`): every vectorized encoding kernel timed
+against its frozen scalar reference with a byte-identity gate, compared
+against the committed ``BENCH_codec.json`` trajectory.
 """
 
 import numpy as np
 import pytest
 
+from repro.bench.codec_bench import format_report, load_report, run_codec_bench
+from repro.bench.harness import print_and_save
 from repro.compressors import get_compressor
 from repro.data import load_field
+
+_CODEC_BENCH_REPS = {"tiny": 1, "small": 3, "medium": 7}
 
 
 @pytest.fixture(scope="module")
@@ -37,3 +46,42 @@ def test_roundtrip_throughput(benchmark, field, name):
     benchmark.group = "decompress"
     out = benchmark(codec.decompress, compressed)
     assert np.abs(out - field.data).max() <= eb
+
+
+def test_encoding_kernel_speedups(benchmark, scale):
+    """Vectorized-vs-reference speedups, diffed against the committed report.
+
+    Byte identity (vectorized stream == reference stream) is a hard assert
+    at every scale; the committed ``BENCH_codec.json`` speedups are shown
+    as the trajectory column so drift between this machine and the recorded
+    run is visible in the scorecard.
+    """
+    reps = _CODEC_BENCH_REPS.get(scale.name, 3)
+
+    def run():
+        return run_codec_bench(shape=scale.shape3d, reps=reps)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert report["identical"], "vectorized codec diverged from reference"
+
+    committed = load_report()
+    committed_codecs = (committed or {}).get("codecs", {})
+    lines = [format_report(report)]
+    if committed:
+        lines.append(
+            f"committed BENCH_codec.json: commit={committed['commit'] or '?'} "
+            f"shape={tuple(committed['shape'])} reps={committed['reps']}"
+        )
+        for name, entry in report["codecs"].items():
+            past = committed_codecs.get(name)
+            if past:
+                lines.append(
+                    f"  {name:<13} total x {entry['speedup_total']:>6.2f} now "
+                    f"vs {past['speedup_total']:>6.2f} committed"
+                )
+    else:
+        lines.append(
+            "no committed BENCH_codec.json — generate one with "
+            "`python -m repro codec-bench`"
+        )
+    print_and_save("codec_throughput", "\n".join(lines))

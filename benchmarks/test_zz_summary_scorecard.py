@@ -29,6 +29,7 @@ EXPECTED = {
     "ablation_fixed_rate": "Abl.    fixed-rate vs error-bounded",
     "ablation_drift": "Abl.    drift + refinement",
     "ablation_entropy": "Abl.    SZ3 entropy backends",
+    "codec_throughput": "Perf.   vectorized encoding kernels vs reference",
 }
 
 

@@ -17,6 +17,11 @@ Commands mirror the library's workflow:
 - ``pack-bench`` — pack one field with ``--workers 1`` and ``--workers N``
   at the same wave size; exits non-zero on any byte divergence (and,
   optionally, below ``--min-speedup``);
+- ``codec-bench`` — time the vectorized encoding kernels against their
+  frozen scalar references on an SZ3 symbol fixture; exits non-zero on
+  byte divergence (or below ``--min-speedup``) and writes the
+  commit-stamped report to ``BENCH_codec.json`` at the repo root
+  (``--check`` is the tiny CI variant: identity gate only, no file);
 - ``trace-summary`` — aggregate a ``--trace`` JSON into a per-stage table.
 
 ``train``, ``compress``, ``bench``, and ``serve-bench`` accept ``--trace out.json``:
@@ -365,6 +370,50 @@ def cmd_pack_bench(args) -> int:
     return 0 if ok else 1
 
 
+def cmd_codec_bench(args) -> int:
+    """Vectorized-vs-reference encoding kernel benchmark.
+
+    Times encode and decode of every codec in :mod:`repro.encoding` against
+    the frozen scalar oracles in :mod:`repro.encoding.reference` on a
+    deterministic SZ3 symbol-stream fixture, diffing the outputs
+    byte-for-byte. Exit 1 on any divergence, or when the composed SZ3
+    lossless stage (Huffman + LZ77) falls below ``--min-speedup``.
+
+    ``--check`` is the CI mode: a tiny fixture and one rep keep the
+    byte-identity gate while dropping the timing cost; nothing is written.
+    """
+    from repro.bench.codec_bench import format_report, run_codec_bench, write_report
+
+    shape = tuple(args.shape)
+    reps = args.reps
+    if args.check:
+        shape = (16, 16, 16)
+        reps = 1
+    report = run_codec_bench(
+        args.field, shape, rel_eb=args.rel_eb, reps=reps, seed=args.seed
+    )
+    print(format_report(report))
+    ok = True
+    if not report["identical"]:
+        bad = [n for n, c in report["codecs"].items() if not c["identical"]]
+        print(f"FAIL: byte divergence from reference in: {', '.join(bad)}")
+        ok = False
+    if not args.check:
+        gate = report["codecs"]["sz3_lossless"]["speedup_total"]
+        if args.min_speedup > 0 and gate < args.min_speedup:
+            print(
+                f"FAIL: sz3_lossless speedup {gate:.2f}x below "
+                f"required {args.min_speedup:.2f}x"
+            )
+            ok = False
+        if ok:
+            out = write_report(report, args.out)
+            print(f"report written to {out}")
+        else:
+            print("report not written (gates failed)")
+    return 0 if ok else 1
+
+
 def cmd_store_info(args) -> int:
     from repro.store import Store
 
@@ -601,6 +650,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--iters", type=int, default=4, help="training search iterations")
     _add_trace_arg(p)
     p.set_defaults(func=cmd_pack_bench)
+
+    p = sub.add_parser(
+        "codec-bench",
+        help="time vectorized encoding kernels vs their scalar references; "
+             "fail on byte divergence",
+    )
+    p.add_argument("field", nargs="?", default="miranda/viscosity",
+                   help="synthetic dataset/field used to build the symbol fixture")
+    p.add_argument("--shape", type=int, nargs="+", default=[64, 64, 64],
+                   help="fixture field shape")
+    p.add_argument("--rel-eb", type=float, default=1e-3,
+                   help="relative error bound of the fixture compression")
+    p.add_argument("--reps", type=int, default=7,
+                   help="timing repetitions (best-of, interleaved with reference)")
+    p.add_argument("--seed", type=int, default=None, help="synthetic dataset seed")
+    p.add_argument("--out", default=None,
+                   help="report path (default: BENCH_codec.json at the repo root)")
+    p.add_argument("--min-speedup", type=float, default=0.0,
+                   help="fail unless the composed sz3_lossless stage is at least "
+                        "this much faster than the reference (0 disables)")
+    p.add_argument("--check", action="store_true",
+                   help="CI mode: tiny fixture, one rep, identity gate only, "
+                        "no report written")
+    _add_trace_arg(p)
+    p.set_defaults(func=cmd_codec_bench)
 
     p = sub.add_parser("store-info", help="print a store's manifest summary")
     p.add_argument("store", help=".rps path")

@@ -21,6 +21,7 @@ from repro.compressors.base import LossyCompressor
 from repro.compressors.speck import SpeckCoder
 from repro.encoding.bitstream import BitReader, BitWriter
 from repro.encoding.lz77 import lz77_compress, lz77_decompress
+from repro.obs import span
 from repro.transforms.wavelet import cdf97_forward, cdf97_inverse, max_levels
 
 _CORR_BITS = 8  # signed correction codes in [-127, 127]
@@ -128,22 +129,28 @@ class SPERRCompressor(LossyCompressor):
         shape = data.shape
         levels = max_levels(shape)
         qstep = self.quant_factor * error_bound
-        coefs = cdf97_forward(data, levels)
-        mag, neg = self._quantize(coefs, qstep)
+        with span("compressor.stage.predict", codec=self.name, transform="cdf97"):
+            coefs = cdf97_forward(data, levels)
+        with span("compressor.stage.quantize", codec=self.name):
+            mag, neg = self._quantize(coefs, qstep)
 
-        speck_writer = BitWriter()
-        p_top = SpeckCoder().encode(mag, neg, speck_writer)
-        lz = lz77_compress(speck_writer.getvalue())
+        with span("compressor.stage.encode", codec=self.name) as sp:
+            speck_writer = BitWriter()
+            p_top = SpeckCoder().encode(mag, neg, speck_writer)
+            lz = lz77_compress(speck_writer.getvalue())
+            sp.set(speck_bits=speck_writer.bit_length, bytes_out=len(lz))
 
         # Outlier pass: reconstruct exactly as the decoder will and correct
         # every point still violating the bound.
-        recon = cdf97_inverse(self._dequantize(mag, neg, qstep), levels)
-        err = data - recon
-        viol = np.abs(err) > error_bound
-        idxs = np.flatnonzero(viol.ravel())
-        corr = np.rint(err.ravel()[idxs] / error_bound).astype(np.int64)
-        exact_mask = np.abs(corr) > _CORR_MAX
-        exact_vals = data.ravel()[idxs[exact_mask]]
+        with span("compressor.stage.outlier", codec=self.name) as sp:
+            recon = cdf97_inverse(self._dequantize(mag, neg, qstep), levels)
+            err = data - recon
+            viol = np.abs(err) > error_bound
+            idxs = np.flatnonzero(viol.ravel())
+            corr = np.rint(err.ravel()[idxs] / error_bound).astype(np.int64)
+            exact_mask = np.abs(corr) > _CORR_MAX
+            exact_vals = data.ravel()[idxs[exact_mask]]
+            sp.set(n_outliers=int(idxs.size))
 
         head = BitWriter()
         nbits_idx = max(int(data.size - 1).bit_length(), 1)
@@ -182,9 +189,11 @@ class SPERRCompressor(LossyCompressor):
         exact_mask = reader.read_bit_array(n_out)
         exact_vals = reader.read_uint_array(int(exact_mask.sum()), 64).view(np.float64)
 
-        mag, neg = SpeckCoder().decode(BitReader(lz77_decompress(lz)), shape, p_top)
+        with span("compressor.stage.decode", codec=self.name):
+            mag, neg = SpeckCoder().decode(BitReader(lz77_decompress(lz)), shape, p_top)
         coefs = self._dequantize(mag.reshape(shape), neg.reshape(shape), qstep)
-        recon = cdf97_inverse(coefs, levels)
+        with span("compressor.stage.predict", codec=self.name, transform="cdf97"):
+            recon = cdf97_inverse(coefs, levels)
 
         flat = recon.ravel()
         if n_out:

@@ -30,6 +30,7 @@ from repro.compressors.base import LossyCompressor, quantization_step
 from repro.encoding.bitstream import BitReader, BitWriter
 from repro.encoding.huffman import HuffmanCodec
 from repro.encoding.lz77 import lz77_compress, lz77_decompress
+from repro.obs import span
 
 _C0 = -1.0 / 16.0
 _C1 = 9.0 / 16.0
@@ -124,43 +125,50 @@ class SZ3Compressor(LossyCompressor):
 
     def _encode_codes(self, symbols: np.ndarray, writer: BitWriter) -> bytes:
         """Entropy stage; model/codebook goes to ``writer``, returns bytes."""
-        if self.entropy == "range":
-            from repro.encoding.range_coder import range_encode
+        with span(
+            "compressor.stage.encode", codec=self.name, entropy=self.entropy
+        ) as sp:
+            if self.entropy == "range":
+                from repro.encoding.range_coder import range_encode
 
-            payload, freq = range_encode(symbols, alphabet_size=_ALPHABET)
-            present = np.flatnonzero(freq > 0)
+                payload, freq = range_encode(symbols, alphabet_size=_ALPHABET)
+                present = np.flatnonzero(freq > 0)
+                writer.write_elias_gamma(present.size + 1)
+                writer.write_uint_array(present.astype(np.uint64), _SYMBOL_BITS)
+                for c in freq[present]:
+                    writer.write_elias_gamma(int(c))
+                sp.set(n_symbols=int(symbols.size), bytes_out=len(payload))
+                return payload
+            codec = HuffmanCodec.fit(symbols, alphabet_size=_ALPHABET)
+            present = np.flatnonzero(codec.lengths > 0)
             writer.write_elias_gamma(present.size + 1)
             writer.write_uint_array(present.astype(np.uint64), _SYMBOL_BITS)
-            for c in freq[present]:
-                writer.write_elias_gamma(int(c))
+            writer.write_uint_array(codec.lengths[present].astype(np.uint64), 6)
+            code_writer = BitWriter()
+            codec.encode(symbols, code_writer)
+            payload = lz77_compress(code_writer.getvalue())
+            sp.set(n_symbols=int(symbols.size), bytes_out=len(payload))
             return payload
-        codec = HuffmanCodec.fit(symbols, alphabet_size=_ALPHABET)
-        present = np.flatnonzero(codec.lengths > 0)
-        writer.write_elias_gamma(present.size + 1)
-        writer.write_uint_array(present.astype(np.uint64), _SYMBOL_BITS)
-        writer.write_uint_array(codec.lengths[present].astype(np.uint64), 6)
-        code_writer = BitWriter()
-        codec.encode(symbols, code_writer)
-        return lz77_compress(code_writer.getvalue())
 
     def _decode_codes(self, reader: BitReader, payload: bytes, count: int) -> np.ndarray:
-        if self.entropy == "range":
-            from repro.encoding.range_coder import range_decode
+        with span("compressor.stage.decode", codec=self.name, entropy=self.entropy):
+            if self.entropy == "range":
+                from repro.encoding.range_coder import range_decode
 
+                n_present = reader.read_elias_gamma() - 1
+                present = reader.read_uint_array(n_present, _SYMBOL_BITS).astype(np.int64)
+                counts = np.array([reader.read_elias_gamma() for _ in range(n_present)],
+                                  dtype=np.int64)
+                freq = np.zeros(_ALPHABET, dtype=np.int64)
+                freq[present] = counts
+                return range_decode(payload, freq, count)
             n_present = reader.read_elias_gamma() - 1
             present = reader.read_uint_array(n_present, _SYMBOL_BITS).astype(np.int64)
-            counts = np.array([reader.read_elias_gamma() for _ in range(n_present)],
-                              dtype=np.int64)
-            freq = np.zeros(_ALPHABET, dtype=np.int64)
-            freq[present] = counts
-            return range_decode(payload, freq, count)
-        n_present = reader.read_elias_gamma() - 1
-        present = reader.read_uint_array(n_present, _SYMBOL_BITS).astype(np.int64)
-        plens = reader.read_uint_array(n_present, 6).astype(np.int64)
-        lengths = np.zeros(_ALPHABET, dtype=np.int64)
-        lengths[present] = plens
-        codec = HuffmanCodec.from_lengths(lengths)
-        return codec.decode(BitReader(lz77_decompress(payload)), count)
+            plens = reader.read_uint_array(n_present, 6).astype(np.int64)
+            lengths = np.zeros(_ALPHABET, dtype=np.int64)
+            lengths[present] = plens
+            codec = HuffmanCodec.from_lengths(lengths)
+            return codec.decode(BitReader(lz77_decompress(payload)), count)
 
     # -- interpolation mode ------------------------------------------------
 
@@ -188,19 +196,21 @@ class SZ3Compressor(LossyCompressor):
                 axis,
                 0,
             )
-            mids, pred = _predict(sub, h, s)
-            vals = orig[mids]
-            q = np.rint((vals - pred) / step)
-            bad = np.abs(q) > _RADIUS
-            q = np.clip(q, -_RADIUS, _RADIUS).astype(np.int64)
-            rec = pred + q * step
-            if bad.any():
-                rec = np.where(bad, vals, rec)
-                outliers.append(vals[bad].ravel())
-            sub[mids] = rec
-            sym = q + _OFFSET
-            sym[bad] = _OUTLIER
-            codes.append(sym.ravel())
+            with span("compressor.stage.predict", codec=self.name, axis=axis, stride=s):
+                mids, pred = _predict(sub, h, s)
+            with span("compressor.stage.quantize", codec=self.name, axis=axis, stride=s):
+                vals = orig[mids]
+                q = np.rint((vals - pred) / step)
+                bad = np.abs(q) > _RADIUS
+                q = np.clip(q, -_RADIUS, _RADIUS).astype(np.int64)
+                rec = pred + q * step
+                if bad.any():
+                    rec = np.where(bad, vals, rec)
+                    outliers.append(vals[bad].ravel())
+                sub[mids] = rec
+                sym = q + _OFFSET
+                sym[bad] = _OUTLIER
+                codes.append(sym.ravel())
 
         symbols = np.concatenate(codes) if codes else np.zeros(0, dtype=np.int64)
         writer = BitWriter()
@@ -251,7 +261,8 @@ class SZ3Compressor(LossyCompressor):
             sub = _pass_subgrid(recon, axis, s, h)
             if sub is None:
                 continue
-            mids, pred = _predict(sub, h, s)
+            with span("compressor.stage.predict", codec=self.name, axis=axis, stride=s):
+                mids, pred = _predict(sub, h, s)
             count = pred.size
             sym = symbols[pos : pos + count].reshape(pred.shape)
             pos += count
@@ -269,19 +280,21 @@ class SZ3Compressor(LossyCompressor):
 
     def _compress_lorenzo(self, data: np.ndarray, eb: float) -> tuple[bytes, dict]:
         step = quantization_step(eb)
-        qv = np.rint(data / step)
-        bad = np.abs(qv) >= 2**52  # beyond exact float integer range
-        if bad.any():
-            raise ValueError("error bound too small relative to data magnitude")
-        qv = qv.astype(np.int64)
-        res = qv.copy()
-        for axis in range(res.ndim):
-            res = np.diff(res, axis=axis, prepend=0)
-        clipped = np.clip(res, -_RADIUS, _RADIUS)
-        outlier_mask = clipped != res
-        sym = (clipped + _OFFSET).astype(np.int64).ravel()
-        sym[outlier_mask.ravel()] = _OUTLIER
-        out_res = res[outlier_mask].astype(np.int64)
+        with span("compressor.stage.quantize", codec=self.name, mode="lorenzo"):
+            qv = np.rint(data / step)
+            bad = np.abs(qv) >= 2**52  # beyond exact float integer range
+            if bad.any():
+                raise ValueError("error bound too small relative to data magnitude")
+            qv = qv.astype(np.int64)
+        with span("compressor.stage.predict", codec=self.name, mode="lorenzo"):
+            res = qv.copy()
+            for axis in range(res.ndim):
+                res = np.diff(res, axis=axis, prepend=0)
+            clipped = np.clip(res, -_RADIUS, _RADIUS)
+            outlier_mask = clipped != res
+            sym = (clipped + _OFFSET).astype(np.int64).ravel()
+            sym[outlier_mask.ravel()] = _OUTLIER
+            out_res = res[outlier_mask].astype(np.int64)
 
         writer = BitWriter()
         # Outlier residuals stored as 64-bit two's complement.

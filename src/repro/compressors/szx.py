@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.compressors.base import LossyCompressor, quantization_step
 from repro.encoding.bitstream import BitReader, BitWriter
+from repro.obs import span
 
 BLOCK = 128
 _K_BITS = 6  # width field per non-constant block (widths 0..63)
@@ -49,41 +50,43 @@ class SZXCompressor(LossyCompressor):
         padded[n:] = flat[-1]  # edge padding stays inside block value range
         blocks = padded.reshape(nblocks, bs)
 
-        bmin = blocks.min(axis=1)
-        bmax = blocks.max(axis=1)
-        const = (bmax - bmin) <= 2.0 * error_bound
-        means = 0.5 * (bmin + bmax)
+        with span("compressor.stage.quantize", codec=self.name):
+            bmin = blocks.min(axis=1)
+            bmax = blocks.max(axis=1)
+            const = (bmax - bmin) <= 2.0 * error_bound
+            means = 0.5 * (bmin + bmax)
+            nc = ~const
+            widths = np.zeros(nblocks, dtype=np.int64)
+            if nc.any():
+                step = quantization_step(error_bound)
+                q = np.rint((blocks[nc] - bmin[nc, None]) / step).astype(np.uint64)
+                qmax = q.max(axis=1)
+                w = np.zeros(qmax.size, dtype=np.int64)
+                nz = qmax > 0
+                # bit_length of the per-block max quantization code
+                w[nz] = np.floor(np.log2(qmax[nz].astype(np.float64))).astype(np.int64) + 1
+                # guard against log2 rounding at exact powers of two
+                too_small = (np.uint64(1) << w.astype(np.uint64)) <= qmax
+                w[too_small] += 1
+                widths[nc] = w
 
-        writer = BitWriter()
-        writer.write_bit_array(const)
-        # Constant blocks: the midpoint as raw float64 bits.
-        if const.any():
-            writer.write_uint_array(means[const].view(np.uint64), 64)
-
-        nc = ~const
-        widths = np.zeros(nblocks, dtype=np.int64)
-        if nc.any():
-            step = quantization_step(error_bound)
-            q = np.rint((blocks[nc] - bmin[nc, None]) / step).astype(np.uint64)
-            qmax = q.max(axis=1)
-            w = np.zeros(qmax.size, dtype=np.int64)
-            nz = qmax > 0
-            # bit_length of the per-block max quantization code
-            w[nz] = np.floor(np.log2(qmax[nz].astype(np.float64))).astype(np.int64) + 1
-            # guard against log2 rounding at exact powers of two
-            too_small = (np.uint64(1) << w.astype(np.uint64)) <= qmax
-            w[too_small] += 1
-            widths[nc] = w
-
-            writer.write_uint_array(bmin[nc].view(np.uint64), 64)
-            writer.write_uint_array(w.astype(np.uint64), _K_BITS)
-            # Group payload by width for bulk packing.
-            for width in np.unique(w):
-                if width == 0:
-                    continue
-                sel = w == width
-                writer.write_uint_array(q[sel].ravel(), int(width))
-        return writer.getvalue(), {"n": n, "nblocks": nblocks, "block_size": bs}
+        with span("compressor.stage.encode", codec=self.name):
+            writer = BitWriter()
+            writer.write_bit_array(const)
+            # Constant blocks: the midpoint as raw float64 bits.
+            if const.any():
+                writer.write_uint_array(means[const].view(np.uint64), 64)
+            if nc.any():
+                writer.write_uint_array(bmin[nc].view(np.uint64), 64)
+                writer.write_uint_array(w.astype(np.uint64), _K_BITS)
+                # Group payload by width for bulk packing.
+                for width in np.unique(w):
+                    if width == 0:
+                        continue
+                    sel = w == width
+                    writer.write_uint_array(q[sel].ravel(), int(width))
+            payload = writer.getvalue()
+        return payload, {"n": n, "nblocks": nblocks, "block_size": bs}
 
     # -- decoding ---------------------------------------------------------
 
@@ -94,23 +97,24 @@ class SZXCompressor(LossyCompressor):
         eb = float(metadata["error_bound"])
         reader = BitReader(payload)
 
-        const = reader.read_bit_array(nblocks)
-        out = np.empty((nblocks, bs), dtype=np.float64)
-        n_const = int(const.sum())
-        if n_const:
-            means = reader.read_uint_array(n_const, 64).view(np.float64)
-            out[const] = means[:, None]
-        n_nc = nblocks - n_const
-        if n_nc:
-            bmin = reader.read_uint_array(n_nc, 64).view(np.float64)
-            w = reader.read_uint_array(n_nc, _K_BITS).astype(np.int64)
-            q = np.zeros((n_nc, bs), dtype=np.float64)
-            for width in np.unique(w):
-                if width == 0:
-                    continue
-                sel = w == width
-                vals = reader.read_uint_array(int(sel.sum()) * bs, int(width))
-                q[sel] = vals.reshape(-1, bs).astype(np.float64)
-            out[~const] = bmin[:, None] + q * quantization_step(eb)
+        with span("compressor.stage.decode", codec=self.name):
+            const = reader.read_bit_array(nblocks)
+            out = np.empty((nblocks, bs), dtype=np.float64)
+            n_const = int(const.sum())
+            if n_const:
+                means = reader.read_uint_array(n_const, 64).view(np.float64)
+                out[const] = means[:, None]
+            n_nc = nblocks - n_const
+            if n_nc:
+                bmin = reader.read_uint_array(n_nc, 64).view(np.float64)
+                w = reader.read_uint_array(n_nc, _K_BITS).astype(np.int64)
+                q = np.zeros((n_nc, bs), dtype=np.float64)
+                for width in np.unique(w):
+                    if width == 0:
+                        continue
+                    sel = w == width
+                    vals = reader.read_uint_array(int(sel.sum()) * bs, int(width))
+                    q[sel] = vals.reshape(-1, bs).astype(np.float64)
+                out[~const] = bmin[:, None] + q * quantization_step(eb)
         shape = tuple(metadata["shape"])
         return out.reshape(-1)[:n].reshape(shape)

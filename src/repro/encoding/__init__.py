@@ -12,17 +12,25 @@ Modules:
 """
 
 from repro.encoding.bitstream import BitReader, BitWriter
-from repro.encoding.huffman import HuffmanCodec, huffman_encoded_bits
+from repro.encoding.huffman import HuffmanCodec, huffman_encoded_bits, stream_entropy_bits
 from repro.encoding.lz77 import lz77_compress, lz77_decompress
-from repro.encoding.rle import zero_rle_decode, zero_rle_encode
+from repro.encoding.rle import (
+    rle_bytes_decode,
+    rle_bytes_encode,
+    zero_rle_decode,
+    zero_rle_encode,
+)
 
 __all__ = [
     "BitReader",
     "BitWriter",
     "HuffmanCodec",
     "huffman_encoded_bits",
+    "stream_entropy_bits",
     "lz77_compress",
     "lz77_decompress",
+    "rle_bytes_encode",
+    "rle_bytes_decode",
     "zero_rle_encode",
     "zero_rle_decode",
 ]

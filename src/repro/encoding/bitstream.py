@@ -14,6 +14,31 @@ import numpy as np
 _BOOL = np.bool_
 
 
+def window_values(bits: np.ndarray, width: int) -> np.ndarray:
+    """``width``-bit MSB-first window value at every bit position.
+
+    Returns an int64 array of length ``bits.size + 1``: entry ``p`` is the
+    integer formed by bits ``p .. p+width-1``, with zeros past the end of
+    the stream (the same zero padding a :class:`BitWriter` applies when
+    packing to bytes). Computed without materializing a ``(n, width)``
+    matrix: the bits are packed to bytes once, adjacent bytes are fused
+    into 24-bit words, and every window is one gather plus one shift —
+    the bulk extract primitive behind the table-driven Huffman decoder.
+    """
+    if not 0 < width <= 16:
+        raise ValueError("window width must be in [1, 16]")
+    arr = np.asarray(bits).astype(_BOOL, copy=False).ravel()
+    nbits = arr.size
+    packed = np.packbits(arr)
+    # Bytes k, k+1, k+2 must exist for every k up to nbits // 8.
+    buf = np.zeros(nbits // 8 + 3, dtype=np.uint32)
+    buf[: packed.size] = packed
+    fused = (buf[:-2] << np.uint32(16)) | (buf[1:-1] << np.uint32(8)) | buf[2:]
+    p = np.arange(nbits + 1)
+    down = (24 - width - (p & 7)).astype(np.uint32)
+    return ((fused[p >> 3] >> down) & np.uint32((1 << width) - 1)).astype(np.int64)
+
+
 class BitWriter:
     """Accumulates bits MSB-first and packs them into bytes on demand."""
 
@@ -65,6 +90,32 @@ class BitWriter:
         bits = (values[:, None] >> shifts[None, :]) & np.uint64(1)
         self._chunks.append(bits.astype(_BOOL).ravel())
         self._nbits += values.size * nbits
+
+    def write_varlen_uint_array(self, values: np.ndarray, lengths: np.ndarray) -> None:
+        """Write ``values[i]`` with an individual width of ``lengths[i]`` bits.
+
+        The bulk analogue of calling ``write_bits(values[i], lengths[i])`` in
+        a loop, flattened into one numpy pass: each value and its end-bit
+        position are broadcast across their output bits with ``np.repeat``,
+        and output bit ``j`` of value ``i`` is the ``(end_i - 1 - j)``-th bit
+        of the value — one shift, no per-bit index arithmetic — so
+        variable-length streams (Huffman codes) append at array speed.
+        Zero-length entries contribute nothing.
+        """
+        values = np.asarray(values, dtype=np.uint64).ravel()
+        lengths = np.asarray(lengths, dtype=np.int64).ravel()
+        if values.size != lengths.size:
+            raise ValueError("values and lengths must have equal size")
+        if (lengths < 0).any():
+            raise ValueError("lengths must be non-negative")
+        total = int(lengths.sum())
+        if total == 0:
+            return
+        ends = np.cumsum(lengths)
+        shifts = (np.repeat(ends, lengths) - 1 - np.arange(total)).astype(np.uint64)
+        bits = (np.repeat(values, lengths) >> shifts) & np.uint64(1)
+        self._chunks.append(bits.astype(_BOOL))
+        self._nbits += total
 
     def write_unary(self, value: int) -> None:
         """``value`` zero bits followed by a terminating one bit."""
@@ -142,6 +193,14 @@ class BitReader:
 
     def read_bit_array(self, count: int) -> np.ndarray:
         return self._take(count).copy()
+
+    def window_values(self, width: int) -> np.ndarray:
+        """Window value at every remaining position (see :func:`window_values`).
+
+        Does not consume bits; index ``0`` corresponds to the current read
+        position.
+        """
+        return window_values(self._bits[self._pos :], width)
 
     def read_uint_array(self, count: int, nbits: int) -> np.ndarray:
         if count == 0 or nbits == 0:

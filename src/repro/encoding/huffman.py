@@ -1,10 +1,16 @@
 """Canonical Huffman coding over integer symbol alphabets.
 
-This is SZ3's entropy stage. Encoding is vectorized: each symbol is mapped to
-a (code, length) pair through table lookups and the variable-length codes are
-materialized as one flat bit array in a single numpy pass. Decoding uses the
-canonical-code property (codes of equal length are consecutive integers) to
-decode with per-length table lookups rather than bit-by-bit tree walking.
+This is SZ3's entropy stage. Encoding is vectorized: each symbol's
+(code, length) pair comes from table lookups and the variable-length codes
+land in the stream through one :meth:`BitWriter.write_varlen_uint_array`
+call. Decoding is table-driven end to end: a multi-symbol prefix table maps
+every window value to *how many* complete codes it holds and their total
+bit advance, a scalar chase walks the stream one whole window per step, and
+the symbols themselves are emitted afterwards in a handful of vectorized
+gathers. Codes longer than the lookup window decode through the canonical
+first-code arrays (codes of equal length are consecutive integers) instead
+of a per-length dict walk. :meth:`HuffmanCodec._decode_walk` is the slow
+reference oracle the fast paths are tested against.
 """
 
 from __future__ import annotations
@@ -14,7 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.encoding.bitstream import BitReader, BitWriter
+from repro.encoding.bitstream import BitReader, BitWriter, window_values
 
 _MAX_CODE_LEN = 48
 _TABLE_BITS = 16  # fast-decode lookup window
@@ -97,6 +103,21 @@ def huffman_encoded_bits(frequencies: np.ndarray) -> int:
     return int((freq * lengths).sum())
 
 
+def stream_entropy_bits(symbols: np.ndarray) -> float:
+    """Shannon entropy (bits/symbol) of an integer symbol stream.
+
+    The entropy floor the Huffman cost approaches from above; surrogate
+    size estimators use it as the encoded-size stand-in for streams they
+    never materialize (SECRE skips the entropy stage entirely).
+    """
+    symbols = np.asarray(symbols, dtype=np.int64).ravel()
+    if symbols.size == 0:
+        return 0.0
+    counts = np.bincount(symbols - symbols.min())
+    p = counts[counts > 0] / symbols.size
+    return float(-(p * np.log2(p)).sum())
+
+
 @dataclass
 class HuffmanCodec:
     """Canonical Huffman codec for symbols in ``[0, alphabet_size)``."""
@@ -106,7 +127,9 @@ class HuffmanCodec:
     # lazily built fast-decode tables (see _decode_table)
     _sym_table: np.ndarray | None = None
     _len_table: np.ndarray | None = None
-    _slow: dict | None = None
+    _ns_table: np.ndarray | None = None
+    _adv_table: np.ndarray | None = None
+    _canonical: tuple | None = None
 
     @classmethod
     def fit(cls, symbols: np.ndarray, alphabet_size: int | None = None) -> "HuffmanCodec":
@@ -143,24 +166,18 @@ class HuffmanCodec:
         if (lens == 0).any():
             bad = symbols[lens == 0][0]
             raise ValueError(f"symbol {bad} not in codebook")
-        vals = self.codes[symbols]
-        max_len = int(lens.max())
-        # Bit matrix of shape (n, max_len) holding each code left-padded,
-        # then select only the valid (length) prefix of each row.
-        shifts = np.arange(max_len - 1, -1, -1, dtype=np.uint64)
-        aligned = vals << (max_len - lens).astype(np.uint64)
-        bits = ((aligned[:, None] >> shifts[None, :]) & np.uint64(1)).astype(bool)
-        mask = np.arange(max_len)[None, :] < lens[:, None]
-        writer.write_bit_array(bits[mask])
+        writer.write_varlen_uint_array(self.codes[symbols], lens)
 
     def decode(self, reader: BitReader, count: int) -> np.ndarray:
         """Decode ``count`` symbols.
 
-        Bulk streams use a table-driven fast path: a 16-bit window value at
-        every position is precomputed vectorized and one probe decodes a
-        whole symbol; codes longer than the window (necessarily rare) take
-        a per-symbol fallback inside the loop. Tiny streams use the
-        canonical per-length walk directly.
+        Bulk streams use the table-driven batch path (:meth:`_decode_table`):
+        every probe of the multi-symbol prefix table advances one whole
+        window, and the probed symbols are emitted vectorized afterwards.
+        Codes longer than the window (necessarily rare — their stream
+        probability is below ``2**-_TABLE_BITS``) resolve through the
+        canonical first-code arrays. Tiny streams use the per-length
+        reference walk directly.
         """
         lengths = self.lengths
         present = np.flatnonzero(lengths > 0)
@@ -170,82 +187,182 @@ class HuffmanCodec:
             return np.zeros(0, dtype=np.int64)
         max_len = int(lengths[present].max())
         if count > 64:
-            # Hybrid fast path: codes longer than the window (rare by
-            # construction — their stream probability is < 2^-_TABLE_BITS)
-            # fall back to a per-symbol walk inside the chase loop.
             return self._decode_table(reader, count, min(max_len, _TABLE_BITS))
         return self._decode_walk(reader, count)
 
     def _decode_table(self, reader: BitReader, count: int, max_len: int) -> np.ndarray:
-        """Prefix-table decode.
+        """Batch prefix-table decode.
 
-        Vectorized precomputation: the ``max_len``-bit window value at
-        *every* bit position is one sliding-window matvec, and two table
-        gathers turn those into per-position (symbol, advance) arrays. The
-        remaining data-dependent chase ``pos += advance[pos]`` is a
-        scalar-only Python loop — no numpy calls inside — so decode costs
-        ~a hundred ns per symbol instead of per bit.
+        Phase 1 (scalar chase): the ``max_len``-bit window value at every
+        bit position comes from one vectorized :func:`window_values` pass;
+        the multi-symbol tables then turn each probed window into (number
+        of complete codes, total bit advance), so the data-dependent Python
+        loop runs once per *window*, not once per symbol — and it only
+        records probe positions, never touches symbols. Phase 2 (vectorized
+        emission): for ``k = 0, 1, ...`` the ``k``-th symbol of every probe
+        is gathered in one indexed lookup, so symbol extraction costs a few
+        numpy passes regardless of stream length.
         """
         sym_table, len_table = self._tables(max_len)
+        ns_tab, adv_tab = self._multi_tables(max_len)
         bits = reader._bits[reader._pos :]
         nbits = bits.size
-        padded = np.concatenate(
-            (bits.astype(np.int64), np.zeros(max_len, dtype=np.int64))
-        )
-        # Window value at every bit position, as max_len shifted adds —
-        # avoids materializing an (nbits, max_len) matrix for the matvec.
-        vals = np.zeros(nbits + 1, dtype=np.int64)
-        for j in range(max_len):
-            vals += padded[j : j + nbits + 1] << (max_len - 1 - j)
-        sym_at = sym_table[vals].tolist()
-        adv_at = len_table[vals].tolist()
-        slow = self._slow_entries()  # (length -> {code: symbol}) for long codes
-        bit_list = bits.tolist() if slow else None
+        vals = window_values(bits, max_len)
+        ns_at = ns_tab.tolist()
+        adv_at = adv_tab.tolist()
+        has_long = bool((self.lengths > max_len).any())
 
-        out = [0] * count
+        probes: list[int] = []  # bit position of each probe
+        long_marks: list[int] = []  # len(probes) when each long code was hit
+        long_sym: list[int] = []
+        final_emit = 0  # symbols the final partial probe actually emits
+        total = 0
         pos = 0
-        try:
-            for i in range(count):
-                step = adv_at[pos]
-                if step == 0:
-                    # long-code fallback: extend the window bit by bit
-                    if not slow:
-                        raise ValueError("invalid Huffman stream")
-                    code = vals[pos]
-                    length = max_len
-                    while True:
-                        length += 1
-                        if pos + length > nbits:
-                            raise EOFError(
-                                "bitstream exhausted during Huffman decode"
-                            )
-                        code = (int(code) << 1) | bit_list[pos + length - 1]
-                        hit = slow.get(length)
-                        if hit is not None and code in hit:
-                            out[i] = hit[code]
-                            pos += length
-                            break
-                        if length > _MAX_CODE_LEN:
-                            raise ValueError("invalid Huffman stream")
-                else:
-                    out[i] = sym_at[pos]
-                    pos += step
-        except IndexError:
-            raise EOFError("bitstream exhausted during Huffman decode") from None
+        window_at = vals.item
+        while total < count:
+            if pos > nbits:
+                raise EOFError("bitstream exhausted during Huffman decode")
+            window = window_at(pos)
+            ns = ns_at[window]
+            if ns == 0:
+                # First code in the window is longer than the window (or the
+                # stream is invalid) — resolve it canonically.
+                if not has_long:
+                    raise ValueError("invalid Huffman stream")
+                sym, length = self._decode_long(bits, nbits, pos, window, max_len)
+                long_marks.append(len(probes))
+                long_sym.append(sym)
+                total += 1
+                pos += length
+            elif total + ns >= count:
+                # Final probe: step symbol by symbol for the exact end bit.
+                probes.append(pos)
+                final_emit = count - total
+                while True:
+                    pos += int(len_table.item(window))
+                    total += 1
+                    if total == count:
+                        break
+                    if pos > nbits:
+                        raise EOFError("bitstream exhausted during Huffman decode")
+                    window = window_at(pos)
+            else:
+                probes.append(pos)
+                total += ns
+                pos += adv_at[window]
         if pos > nbits:
             raise EOFError("bitstream exhausted during Huffman decode")
         reader._pos += pos
-        return np.array(out, dtype=np.int64)
 
-    def _slow_entries(self) -> dict[int, dict[int, int]]:
-        """Codes longer than the lookup window, keyed by length then code."""
-        if self._slow is None:
-            slow: dict[int, dict[int, int]] = {}
-            for sym in np.flatnonzero(self.lengths > _TABLE_BITS):
-                L = int(self.lengths[sym])
-                slow.setdefault(L, {})[int(self.codes[sym])] = int(sym)
-            self._slow = slow
-        return self._slow
+        # Per-probe emit counts and output bases are reconstructed here
+        # instead of being appended inside the chase loop: the table lookup
+        # that produced each probe's ``ns`` is replayed as one gather, and
+        # long-coded symbols (recorded as "after probe m") shift the bases
+        # of every later probe.
+        out = np.empty(count, dtype=np.int64)
+        ends = np.zeros(0, dtype=np.int64)
+        if probes:
+            probe_pos = np.array(probes, dtype=np.int64)
+            emit = ns_tab[vals[probe_pos]]
+            if final_emit:
+                emit[-1] = final_emit
+            ends = np.cumsum(emit)
+            base = ends - emit
+            if long_marks:
+                marks = np.array(long_marks, dtype=np.int64)
+                base += np.searchsorted(marks, np.arange(probe_pos.size), side="right")
+            cursor = probe_pos.copy()
+            for k in range(int(emit.max())):
+                sel = np.flatnonzero(emit > k)
+                windows = vals[cursor[sel]]
+                out[base[sel] + k] = sym_table[windows]
+                cursor[sel] += len_table[windows]
+        if long_sym:
+            marks = np.array(long_marks, dtype=np.int64)
+            probe_cum = np.concatenate(([0], ends))
+            long_at = probe_cum[marks] + np.arange(marks.size)
+            out[long_at] = np.array(long_sym, dtype=np.int64)
+        return out
+
+    def _multi_tables(self, max_len: int) -> tuple[np.ndarray, np.ndarray]:
+        """Per-window (symbol count, bit advance) for whole-window probes.
+
+        Built vectorized over all ``2**max_len`` window values at once:
+        each round decodes the next code of every still-active window via
+        the single-symbol tables and shifts it out. A code only counts when
+        it fits entirely inside the window — its table entry is then
+        determined by real bits, never by the zeros shifted in — so a
+        window's (count, advance) is exact for every stream position.
+        Windows whose *first* code is longer than the window get the
+        sentinel count 0.
+        """
+        if self._ns_table is None:
+            _, len_table = self._tables(max_len)
+            size = 1 << max_len
+            mask = np.int64(size - 1)
+            cur = np.arange(size, dtype=np.int64)
+            ns = np.zeros(size, dtype=np.int64)
+            used = np.zeros(size, dtype=np.int64)
+            active = np.arange(size)
+            while active.size:
+                lens = len_table[cur[active]].astype(np.int64)
+                ok = (lens > 0) & (used[active] + lens <= max_len)
+                active = active[ok]
+                if not active.size:
+                    break
+                lens = lens[ok]
+                ns[active] += 1
+                used[active] += lens
+                cur[active] = (cur[active] << lens) & mask
+            self._ns_table, self._adv_table = ns, used
+        return self._ns_table, self._adv_table
+
+    def _canonical_arrays(self) -> tuple:
+        """(sorted_syms, first_code, first_rank, counts, max_len) tables.
+
+        The canonical-code property — codes of equal length are consecutive
+        integers — reduces "which symbol does this long code name?" to two
+        array lookups and a range check per candidate length.
+        """
+        if self._canonical is None:
+            lengths = self.lengths
+            present = np.flatnonzero(lengths > 0)
+            order = np.lexsort((present, lengths[present]))
+            sorted_syms = present[order]
+            sorted_lens = lengths[sorted_syms]
+            sorted_codes = self.codes[sorted_syms].astype(np.int64)
+            max_len = int(sorted_lens.max())
+            first_code = np.full(max_len + 2, np.iinfo(np.int64).max, dtype=np.int64)
+            first_rank = np.zeros(max_len + 2, dtype=np.int64)
+            for length in range(1, max_len + 1):
+                idx = np.searchsorted(sorted_lens, length, side="left")
+                if idx < sorted_lens.size and sorted_lens[idx] == length:
+                    first_code[length] = sorted_codes[idx]
+                    first_rank[length] = idx
+            counts = np.bincount(sorted_lens, minlength=max_len + 2)
+            self._canonical = (sorted_syms, first_code, first_rank, counts, max_len)
+        return self._canonical
+
+    def _decode_long(
+        self, bits: np.ndarray, nbits: int, pos: int, window: int, window_len: int
+    ) -> tuple[int, int]:
+        """Decode one code longer than the window; returns (symbol, length)."""
+        sorted_syms, first_code, first_rank, counts, max_len = self._canonical_arrays()
+        code = window
+        length = window_len
+        while True:
+            length += 1
+            if pos + length > nbits:
+                raise EOFError("bitstream exhausted during Huffman decode")
+            code = (code << 1) | int(bits[pos + length - 1])
+            if (
+                length <= max_len
+                and counts[length]
+                and first_code[length] <= code < first_code[length] + counts[length]
+            ):
+                return int(sorted_syms[first_rank[length] + (code - first_code[length])]), length
+            if length > _MAX_CODE_LEN:
+                raise ValueError("invalid Huffman stream")
 
     def _tables(self, max_len: int) -> tuple[np.ndarray, np.ndarray]:
         if self._sym_table is None:

@@ -10,7 +10,14 @@ The format is deliberately simple:
 
 Matching uses a dict keyed on 4-byte prefixes, remembering the most recent
 position — a single-entry hash chain, the same trade-off as fast zstd levels.
-The match *extension* is vectorized with numpy so long matches (the common
+The *match finder* is vectorized: because the table is keyed on the exact
+4-byte prefix (not a lossy hash), "candidate exists within the window"
+already implies a match of at least ``_MIN_MATCH``, so match discovery
+reduces to same-key neighbor arrays (one stable argsort over all keys) plus
+per-block boolean masks — see :func:`lz77_compress` — while remaining
+byte-identical to the scalar reference scan
+(:func:`repro.encoding.reference.lz77_compress_reference`). Match
+*extension* is a vectorized common-prefix scan, so long matches (the common
 case on quantization-code streams) cost O(match_len / simd) not O(match_len)
 Python iterations.
 """
@@ -21,6 +28,11 @@ import numpy as np
 
 _MIN_MATCH = 4
 _WINDOW = 1 << 16
+# Literal runs are scanned in vectorized blocks; blocks grow while no match
+# appears (long incompressible stretches) and reset after each token so
+# match-dense streams don't overscan.
+_BLOCK_MIN = 64
+_BLOCK_MAX = 4096
 
 
 def _write_varint(out: bytearray, value: int) -> None:
@@ -57,57 +69,191 @@ def _match_length(data: np.ndarray, a: int, b: int, limit: int) -> int:
     return int(diff.size)
 
 
+def _match_len_fast(data_bytes: bytes, raw: np.ndarray, a: int, b: int, n: int) -> int:
+    """Exact :func:`_match_length`, tuned for the short-match common case.
+
+    A numpy slice comparison costs microseconds of fixed overhead, which
+    dominates when matches are only a few bytes long (low-entropy streams
+    produce mostly minimum-length matches). An 8-byte ``bytes`` slice
+    compare triages: mismatch inside it is resolved with a scalar walk,
+    and only matches of 8+ bytes pay for the vectorized scan.
+    """
+    limit = n - b
+    if limit >= 8:
+        if data_bytes[a : a + 8] == data_bytes[b : b + 8]:
+            return _match_length(raw, a, b, limit)
+        for k in range(8):
+            if data_bytes[a + k] != data_bytes[b + k]:
+                return k
+    for k in range(limit):
+        if data_bytes[a + k] != data_bytes[b + k]:
+            return k
+    return limit
+
+
 def lz77_compress(data: bytes) -> bytes:
-    """Compress ``data``; always invertible via :func:`lz77_decompress`."""
+    """Compress ``data``; always invertible via :func:`lz77_decompress`.
+
+    Byte-identical to the scalar reference scan, but the per-position loop
+    is replaced by a vectorized match finder built on one observation: the
+    table stores *exact* 4-byte prefixes, so at any scan position the
+    reference finds a match iff the most recent table entry for that key
+    lies within the window. Within the current literal run every position
+    has been scanned (and thus inserted), so the nearest same-key
+    predecessor — precomputed for all positions with one stable argsort —
+    IS the table entry whenever it falls inside the run; only candidates
+    that predate the run need a real dict lookup, and those are prefiltered
+    to positions whose predecessor is in-window. Each literal run is then
+    scanned as boolean block masks, and table inserts commit in one batched
+    ``dict.update`` per token, skipping entries no future lookup can
+    observe (next same-key occurrence absent or beyond the window — the
+    lookup there fails the window check either way).
+    """
     raw = np.frombuffer(bytes(data), dtype=np.uint8)
     n = raw.size
     out = bytearray()
     _write_varint(out, n)
     if n == 0:
         return bytes(out)
+    data_bytes = bytes(data)
 
-    # 4-byte rolling keys, computed once.
-    if n >= _MIN_MATCH:
+    # 4-byte rolling keys, computed once; scan positions are 0 .. nk-1.
+    nk = n - _MIN_MATCH + 1 if n >= _MIN_MATCH else 0
+    if nk:
         keys = (
             raw[: n - 3].astype(np.uint32)
             | (raw[1 : n - 2].astype(np.uint32) << 8)
             | (raw[2 : n - 1].astype(np.uint32) << 16)
             | (raw[3:n].astype(np.uint32) << 24)
         )
+        # Stable sort by key via one uint64 quicksort: the scan position in
+        # the low bits breaks ties in position order, several times faster
+        # than argsort(kind="stable") on the raw keys.
+        shift = max(int(nk - 1).bit_length(), 1)
+        combined = (keys.astype(np.uint64) << np.uint64(shift)) | np.arange(
+            nk, dtype=np.uint64
+        )
+        combined.sort()
+        order = (combined & np.uint64((1 << shift) - 1)).astype(np.int64)
+        dup = (combined >> np.uint64(shift))[1:] == (combined >> np.uint64(shift))[:-1]
+        # Same-key neighbor arrays: prev_same[p] is the nearest earlier
+        # position with the same 4-byte prefix (-1 if none).
+        prev_same = np.full(nk, -1, dtype=np.int64)
+        prev_same[order[1:][dup]] = order[:-1][dup]
+        idx = np.arange(nk, dtype=np.int64)
+        # near[p]: the nearest same-key predecessor is a viable candidate.
+        near = (prev_same >= 0) & (idx - prev_same <= _WINDOW)
+        # insert_ok[p]: a table entry at p is observable by a future lookup
+        # (the next same-key position exists and is within the window —
+        # otherwise the lookup there fails the window check whether or not
+        # p was inserted, so skipping the insert is outcome-equivalent).
+        insert_ok = np.zeros(nk, dtype=bool)
+        nxt_src = order[:-1][dup]
+        insert_ok[nxt_src] = (order[1:][dup] - nxt_src) <= _WINDOW
     else:
         keys = np.zeros(0, dtype=np.uint32)
 
     table: dict[int, int] = {}
+    # Match-dense streams (previous match found within a few positions)
+    # switch to a scalar chase over plain Python lists — per-token numpy
+    # overhead would otherwise dominate when tokens are only a few bytes
+    # apart. The lists are materialized once, on first use.
+    prev_l: list[int] | None = None
+    keys_l: list[int] = []
+    ins_l: list[bool] = []
+    dense = False
     pos = 0
     literal_start = 0
-    data_bytes = bytes(data)
-    while pos < n:
-        match_len = 0
-        match_dist = 0
-        if pos + _MIN_MATCH <= n:
-            key = int(keys[pos])
-            cand = table.get(key)
-            table[key] = pos
-            if cand is not None and pos - cand <= _WINDOW:
-                length = _match_length(raw, cand, pos, n - pos)
-                if length >= _MIN_MATCH:
-                    match_len = length
-                    match_dist = pos - cand
-        if match_len:
-            _write_varint(out, pos - literal_start)
-            _write_varint(out, match_len)
-            _write_varint(out, match_dist)
-            out.extend(data_bytes[literal_start:pos])
-            # Seed the table sparsely inside the matched span so later
-            # occurrences can still find it without per-byte updates.
-            end = min(pos + match_len, n - _MIN_MATCH + 1)
-            for p in range(pos + 1, end, 8):
-                table[int(keys[p])] = p
-            pos += match_len
-            literal_start = pos
+    block = _BLOCK_MIN
+    while pos < nk:
+        m = -1
+        if dense:
+            if prev_l is None:
+                prev_l = prev_same.tolist()
+                keys_l = keys.tolist()
+                ins_l = insert_ok.tolist()
+            p = pos
+            stop = min(pos + _BLOCK_MIN, nk)
+            while p < stop:
+                pv = prev_l[p]
+                if pv >= 0 and p - pv <= _WINDOW:
+                    if pv >= literal_start:
+                        m, cand = p, pv
+                        break
+                    c = table.get(keys_l[p])
+                    if c is not None and p - c <= _WINDOW:
+                        m, cand = p, c
+                        break
+                p += 1
+            if m < 0:
+                pos = p
+                dense = False
+                continue
         else:
-            pos += 1
-    if literal_start < n or n == 0:
+            block_end = min(pos + block, nk)
+            pv_arr = prev_same[pos:block_end]
+            nr = near[pos:block_end]
+            in_run = nr & (pv_arr >= literal_start)
+            # First position whose in-run predecessor guarantees a match.
+            i = int(np.argmax(in_run))
+            if in_run[i]:
+                m, cand = pos + i, int(pv_arr[i])
+            else:
+                m = block_end
+            # Candidates predating the run need the dict; in-run inserts
+            # can never touch their keys (a same-key position in the run
+            # would make the predecessor in-run), so order-checking them
+            # against the frozen pre-run table state is exact.
+            dict_cand = nr & (pv_arr < literal_start)
+            if dict_cand.any():
+                for j in np.flatnonzero(dict_cand).tolist():
+                    p = pos + j
+                    if p >= m:
+                        break
+                    c = table.get(int(keys[p]))
+                    if c is not None and p - c <= _WINDOW:
+                        m, cand = p, c
+                        break
+            if m == block_end:
+                pos = block_end
+                block = min(block * 2, _BLOCK_MAX)
+                continue
+
+        match_len = _match_len_fast(data_bytes, raw, cand, m, n)
+        _write_varint(out, m - literal_start)
+        _write_varint(out, match_len)
+        _write_varint(out, m - cand)
+        out.extend(data_bytes[literal_start:m])
+        # Table commit: every scanned position of the run, then the sparse
+        # seeds inside the matched span (so later occurrences can still
+        # find it without per-byte updates). Ascending position order +
+        # last-wins semantics reproduce the sequential inserts.
+        span = m - literal_start
+        seed_end = min(m + match_len, nk)
+        if prev_l is not None and span + (seed_end - m) // 8 < _BLOCK_MIN:
+            for p2 in range(literal_start, m + 1):
+                if ins_l[p2]:
+                    table[keys_l[p2]] = p2
+            for p2 in range(m + 1, seed_end, 8):
+                if ins_l[p2]:
+                    table[keys_l[p2]] = p2
+        else:
+            run = idx[literal_start : m + 1]
+            run = run[insert_ok[literal_start : m + 1]]
+            seeds = np.arange(m + 1, seed_end, 8, dtype=np.int64)
+            if seeds.size:
+                seeds = seeds[insert_ok[seeds]]
+                run = np.concatenate((run, seeds)) if run.size else seeds
+            if run.size:
+                table.update(zip(keys[run].tolist(), run.tolist()))
+        pos = m + match_len
+        literal_start = pos
+        # Dense only when tokens are genuinely close together: short runs
+        # AND short matches. Long matches leave the scalar chase nothing to
+        # win and would pay the one-time list materialization for nothing.
+        dense = span <= 16 and match_len <= 64
+        block = _BLOCK_MIN
+    if literal_start < n:
         _write_varint(out, n - literal_start)
         _write_varint(out, 0)
         _write_varint(out, 0)

@@ -10,8 +10,13 @@ design choice (``benchmarks/test_ablation_entropy.py``).
 
 Classic 32-bit Schindler-style carry-less range coder with a static
 frequency model (the model is serialized alongside, like a Huffman
-codebook). Encoding/decoding are per-symbol Python loops — fine for the
-ablation and tests; Huffman remains the default backend.
+codebook). The renormalization recurrence is inherently sequential, so the
+loops stay scalar — but they run over plain Python ints pre-gathered in
+chunked numpy passes (per-symbol (freq, cum) lookups on encode, a
+``np.repeat``-built value→symbol table replacing per-symbol searchsorted
+on decode), which removes every numpy scalar-indexing call from the hot
+loop while keeping the emitted bytes identical
+(:func:`repro.encoding.reference.range_encode_reference`).
 """
 
 from __future__ import annotations
@@ -22,6 +27,7 @@ _TOP = 1 << 24
 _BOT = 1 << 16
 _MASK = (1 << 32) - 1
 _MAX_TOTAL = _BOT - 1
+_CHUNK = 1 << 16
 
 
 def _quantized_freqs(frequencies: np.ndarray) -> np.ndarray:
@@ -51,25 +57,33 @@ class RangeEncoder:
         self._out = bytearray()
 
     def encode(self, symbols: np.ndarray) -> bytes:
-        freq = self.freq
-        cum = self.cum
         total = self.total
         low, rng = self._low, self._range
         out = self._out
-        for s in np.asarray(symbols, dtype=np.int64).ravel():
-            f = int(freq[s])
-            if f == 0:
-                raise ValueError(f"symbol {s} has zero frequency")
-            rng //= total
-            low = (low + int(cum[s]) * rng) & _MASK
-            rng *= f
-            # renormalize
-            while (low ^ (low + rng)) < _TOP or (
-                rng < _BOT and ((rng := -low & (_BOT - 1)) or True)
-            ):
-                out.append((low >> 24) & 0xFF)
-                low = (low << 8) & _MASK
-                rng = (rng << 8) & _MASK
+        symbols = np.asarray(symbols, dtype=np.int64).ravel()
+        for start in range(0, symbols.size, _CHUNK):
+            chunk = symbols[start : start + _CHUNK]
+            # Pre-gather per-symbol (freq, cum) as plain ints; the scalar
+            # loop below then never touches a numpy object. A zero-frequency
+            # symbol still gets the prefix before it encoded, matching the
+            # scalar loop's observable output when it raises mid-stream.
+            fs = self.freq[chunk]
+            bad = int(np.argmax(fs == 0)) if (fs == 0).any() else chunk.size
+            f_list = fs[:bad].tolist()
+            c_list = self.cum[chunk[:bad]].tolist()
+            for f, c in zip(f_list, c_list):
+                rng //= total
+                low = (low + c * rng) & _MASK
+                rng *= f
+                # renormalize
+                while (low ^ (low + rng)) < _TOP or (
+                    rng < _BOT and ((rng := -low & (_BOT - 1)) or True)
+                ):
+                    out.append((low >> 24) & 0xFF)
+                    low = (low << 8) & _MASK
+                    rng = (rng << 8) & _MASK
+            if bad < chunk.size:
+                raise ValueError(f"symbol {chunk[bad]} has zero frequency")
         # flush
         for _ in range(4):
             out.append((low >> 24) & 0xFF)
@@ -89,6 +103,10 @@ class RangeDecoder:
         self._low = 0
         self._range = _MASK
         self._code = 0
+        # lazily built decode lookups (see decode)
+        self._sym_of_value: list[int] | None = None
+        self._freq_l: list[int] = []
+        self._cum_l: list[int] = []
         for _ in range(4):
             self._code = ((self._code << 8) | self._next_byte()) & _MASK
 
@@ -100,27 +118,51 @@ class RangeDecoder:
         return 0
 
     def decode(self, count: int) -> np.ndarray:
-        cum = self.cum
         total = self.total
         low, rng, code = self._low, self._range, self._code
-        out = np.empty(count, dtype=np.int64)
-        for i in range(count):
-            rng //= total
-            value = ((code - low) & _MASK) // rng
-            if value >= total:
-                raise ValueError("corrupt range-coded stream")
-            s = int(np.searchsorted(cum, value, side="right")) - 1
-            out[i] = s
-            low = (low + int(cum[s]) * rng) & _MASK
-            rng *= int(self.freq[s])
-            while (low ^ (low + rng)) < _TOP or (
-                rng < _BOT and ((rng := -low & (_BOT - 1)) or True)
-            ):
-                code = ((code << 8) | self._next_byte()) & _MASK
-                low = (low << 8) & _MASK
-                rng = (rng << 8) & _MASK
+        # value→symbol lookup table (size == total <= 65535): one np.repeat
+        # replaces a binary search per symbol, and per-symbol (freq, cum)
+        # become plain-int list lookups.
+        if self._sym_of_value is None:
+            self._sym_of_value = np.repeat(
+                np.arange(self.freq.size), self.freq
+            ).tolist()
+            self._freq_l = self.freq.tolist()
+            self._cum_l = self.cum.tolist()
+        sym_of_value = self._sym_of_value
+        freq_l = self._freq_l
+        cum_l = self._cum_l
+        data = self._data
+        ndata = len(data)
+        pos = self._pos
+        out = []
+        try:
+            for _ in range(count):
+                rng //= total
+                value = ((code - low) & _MASK) // rng
+                if value >= total:
+                    raise ValueError("corrupt range-coded stream")
+                s = sym_of_value[value]
+                out.append(s)
+                low = (low + cum_l[s] * rng) & _MASK
+                rng *= freq_l[s]
+                while (low ^ (low + rng)) < _TOP or (
+                    rng < _BOT and ((rng := -low & (_BOT - 1)) or True)
+                ):
+                    if pos < ndata:
+                        byte = data[pos]
+                        pos += 1
+                    else:
+                        byte = 0
+                    code = ((code << 8) | byte) & _MASK
+                    low = (low << 8) & _MASK
+                    rng = (rng << 8) & _MASK
+        finally:
+            # The scalar reference advances the read cursor eagerly; keep
+            # that observable even when raising on a corrupt stream.
+            self._pos = pos
         self._low, self._range, self._code = low, rng, code
-        return out
+        return np.array(out, dtype=np.int64)
 
 
 def range_encode(symbols: np.ndarray, alphabet_size: int | None = None) -> tuple[bytes, np.ndarray]:

@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.compressors.speck import SpeckCoder
 from repro.encoding.bitstream import BitWriter
+from repro.obs import span
 from repro.surrogate.base import SurrogateEstimator
 from repro.surrogate.sampling import sample_chunk
 from repro.transforms.wavelet import cdf97_forward, max_levels
@@ -29,19 +30,20 @@ class SPERRSurrogate(SurrogateEstimator):
         self.quant_factor = float(quant_factor)
 
     def _estimate_curve(self, data: np.ndarray, ebs: np.ndarray, itemsize: int) -> np.ndarray:
-        chunk, _fraction = sample_chunk(data, self.fraction_per_axis)
-        levels = max_levels(chunk.shape)
-        coefs = cdf97_forward(chunk, levels)
-        absc = np.abs(coefs)
-        negc = coefs < 0
-        out = np.empty(ebs.size)
-        coder = SpeckCoder()
-        for i, eb in enumerate(ebs):
-            qstep = self.quant_factor * float(eb)
-            mag = np.floor(absc / qstep).astype(np.int64)
-            writer = BitWriter()
-            coder.encode(mag, negc, writer)
-            bits_per_point = writer.bit_length / chunk.size
-            total_bits = bits_per_point * data.size + 8 * 64
-            out[i] = (data.size * itemsize * 8.0) / max(total_bits, 1.0)
+        with span("surrogate.estimate", surrogate=self.compressor_name, n_ebs=int(ebs.size)):
+            chunk, _fraction = sample_chunk(data, self.fraction_per_axis)
+            levels = max_levels(chunk.shape)
+            coefs = cdf97_forward(chunk, levels)
+            absc = np.abs(coefs)
+            negc = coefs < 0
+            out = np.empty(ebs.size)
+            coder = SpeckCoder()
+            for i, eb in enumerate(ebs):
+                qstep = self.quant_factor * float(eb)
+                mag = np.floor(absc / qstep).astype(np.int64)
+                writer = BitWriter()
+                coder.encode(mag, negc, writer)
+                bits_per_point = writer.bit_length / chunk.size
+                total_bits = bits_per_point * data.size + 8 * 64
+                out[i] = (data.size * itemsize * 8.0) / max(total_bits, 1.0)
         return out

@@ -19,17 +19,10 @@ from __future__ import annotations
 import numpy as np
 
 from repro.compressors.sz3 import _OFFSET, _RADIUS, _pass_subgrid, _predict
+from repro.encoding.huffman import stream_entropy_bits
+from repro.obs import span
 from repro.surrogate.base import SurrogateEstimator
 from repro.surrogate.sampling import sample_points
-
-
-def _entropy_bits(symbols: np.ndarray) -> float:
-    """Shannon entropy (bits/symbol) of an integer symbol stream."""
-    if symbols.size == 0:
-        return 0.0
-    counts = np.bincount(symbols - symbols.min())
-    p = counts[counts > 0] / symbols.size
-    return float(-(p * np.log2(p)).sum())
 
 
 class SZ3Surrogate(SurrogateEstimator):
@@ -64,12 +57,13 @@ class SZ3Surrogate(SurrogateEstimator):
         return np.concatenate(codes)
 
     def _estimate_curve(self, data: np.ndarray, ebs: np.ndarray, itemsize: int) -> np.ndarray:
-        sampled, _fraction = sample_points(data, self.stride)
-        out = np.empty(ebs.size)
-        anchor_bits = 64.0 * data.size / (1 << (6 * data.ndim))  # anchor overhead
-        for i, eb in enumerate(ebs):
-            codes = self._last_level_codes(sampled, float(eb))
-            bits_per_point = _entropy_bits(codes)
-            total_bits = bits_per_point * data.size + anchor_bits + 8 * 64
-            out[i] = (data.size * itemsize * 8.0) / max(total_bits, 1.0)
+        with span("surrogate.estimate", surrogate=self.compressor_name, n_ebs=int(ebs.size)):
+            sampled, _fraction = sample_points(data, self.stride)
+            out = np.empty(ebs.size)
+            anchor_bits = 64.0 * data.size / (1 << (6 * data.ndim))  # anchor overhead
+            for i, eb in enumerate(ebs):
+                codes = self._last_level_codes(sampled, float(eb))
+                bits_per_point = stream_entropy_bits(codes)
+                total_bits = bits_per_point * data.size + anchor_bits + 8 * 64
+                out[i] = (data.size * itemsize * 8.0) / max(total_bits, 1.0)
         return out
