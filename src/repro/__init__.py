@@ -24,7 +24,10 @@ Main entry points:
 - :mod:`repro.store` — the chunked compressed array store
   (:class:`Store`, :class:`StoreOptions`): single-file ``.rps``
   containers with closed-loop byte budgeting and random-access reads
-  (``python -m repro store-pack / store-info / store-unpack``);
+  (``python -m repro store-pack / store-info / store-unpack``), plus the
+  sharded read service (:class:`Catalog`, :class:`CatalogOptions`): many
+  stores by dataset key behind one shared byte-budgeted chunk cache
+  (``python -m repro read-bench``);
 - :class:`CarolFramework` / :class:`FxrzFramework` — the ratio-controlled
   frameworks (paper contribution / baseline);
 - :func:`get_compressor` — the four error-bounded compressors
@@ -38,6 +41,8 @@ Main entry points:
 from repro import obs
 from repro.api import (
     Carol,
+    Catalog,
+    CatalogOptions,
     FrameworkOptions,
     Fxrz,
     ModelRegistry,
@@ -85,6 +90,8 @@ __all__ = [
     "ModelRegistry",
     "Store",
     "StoreOptions",
+    "Catalog",
+    "CatalogOptions",
     "load",
     "save",
     "obs",

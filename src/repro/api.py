@@ -17,17 +17,24 @@ The recommended entry point for applications::
     with Store("field.rps") as st:             # chunked random-access reads
         sub = st[4:12, :, 20:40]
 
+    with Catalog("stores/") as cat:            # a fleet of .rps stores
+        sub = cat.read("climate/temp", (slice(0, 8), ...))
+
 Everything here is a thin, renamed view over the library internals —
-:class:`Carol` *is* :class:`repro.core.carol.CarolFramework` and
-:class:`Service` *is* :class:`repro.serve.PredictionService` — so code
+:class:`Carol` *is* :class:`repro.core.carol.CarolFramework`,
+:class:`Service` *is* :class:`repro.serve.PredictionService`, and
+:class:`Catalog` *is* :class:`repro.store.StoreCatalog` — so code
 written against either surface interoperates freely; the deep import
 paths remain supported (but new code should import from here).
 
-:class:`FrameworkOptions` and :class:`ServiceOptions` are the hashable,
-frozen counterparts of the frameworks' and service's keyword arguments:
-share one options value across services, use it as a cache key, and
-:meth:`~FrameworkOptions.build` the live object from it. A built
-framework round-trips back with :meth:`FrameworkOptions.from_framework`.
+The ``*Options`` dataclasses (:class:`FrameworkOptions`,
+:class:`ServiceOptions`, :class:`StoreOptions`, :class:`CatalogOptions`)
+are the hashable, frozen, keyword-only counterparts of each layer's
+constructor arguments: share one options value across services, use it
+as a cache key, and :meth:`~FrameworkOptions.build` the live object from
+it. Each round-trips — ``from_*`` recovers the options from a built
+object (or manifest) and ``to_kwargs()`` flattens back to constructor
+keywords.
 
 Signature conventions, uniform across the surface: configuration is
 keyword-only everywhere; a single requested ratio is ``target_ratio``
@@ -54,18 +61,19 @@ from repro.core.framework import (
 from repro.core.fxrz import FxrzFramework
 from repro.serve.registry import ModelRegistry
 from repro.serve.service import PredictionService, ServiceOptions, VerifiedPrediction
-from repro.store import PackReport, Store, StoreOptions
+from repro.store import CatalogOptions, PackReport, Store, StoreCatalog, StoreOptions
 from repro.utils.serialization import load_framework, save_framework
 
 #: Facade aliases — ``Carol`` is ``CarolFramework``, nothing in between.
 Carol = CarolFramework
 Fxrz = FxrzFramework
 Service = PredictionService
+Catalog = StoreCatalog
 
 _KINDS = {"carol": CarolFramework, "fxrz": FxrzFramework}
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, kw_only=True)
 class FrameworkOptions:
     """Frozen, hashable construction options for either framework.
 
@@ -157,6 +165,8 @@ __all__ = [
     "VerifiedPrediction",
     "Store",
     "StoreOptions",
+    "Catalog",
+    "CatalogOptions",
     "PackReport",
     "load",
     "save",

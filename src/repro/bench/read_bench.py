@@ -1,0 +1,231 @@
+"""``read-bench``: concurrent sharded-read benchmark over a store catalog.
+
+The catalog's contract is that injecting a shared chunk cache and a
+decode pool into the staged reader changes *throughput only, never
+bytes*. This module makes that contract a measured, committed artifact:
+
+- a deterministic fixture packs several ``.rps`` stores into a temp
+  directory and draws a seeded stream of random subvolume requests
+  across them;
+- the request stream is answered by a serial, cache-less catalog first
+  (the reference), then replayed under each benchmarked configuration —
+  cached, and parallel-with-cache under thread concurrency — and every
+  response is digest-compared to the reference answer;
+- the report (bytes-served/s and cache hit rate per configuration) is
+  written to ``BENCH_read.json`` at the repo root, commit-stamped, so
+  the read path's perf trajectory is tracked in version control
+  alongside the code.
+
+Any byte divergence between configurations is a benchmark *failure*
+(nonzero exit from the CLI), not a footnote. ``--check`` mode (used in
+CI) shrinks the fixture and keeps only the byte-identity gate.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import numpy as np
+
+from repro.bench.codec_bench import repo_commit
+from repro.obs import span
+from repro.serve.cache import digest_array
+from repro.store.catalog import CatalogOptions, StoreCatalog
+
+SCHEMA = "repro.read-bench/v1"
+REPORT_NAME = "BENCH_read.json"
+
+_REPO_ROOT = Path(__file__).resolve().parents[3]
+
+
+def build_fixture(
+    framework,
+    root,
+    *,
+    n_stores: int = 3,
+    shape: tuple[int, ...] = (24, 32, 32),
+    chunk: tuple[int, ...] = (8, 16, 16),
+    ratio: float = 8.0,
+    seed: int = 0,
+) -> list[str]:
+    """Pack ``n_stores`` synthetic fields into ``root``; returns their keys.
+
+    Each store holds a different seeded field, so cross-store cache
+    collisions would be caught by the digest gate, and the keyspace
+    exercises nested directories (``ds<i>/field``).
+    """
+    from repro.data import load_field
+    from repro.store import StoreOptions, pack
+
+    root = Path(root)
+    options = StoreOptions(chunk_shape=tuple(chunk))
+    keys = []
+    for i in range(n_stores):
+        field = load_field("miranda/pressure", shape=tuple(shape), seed=seed + i)
+        key = f"ds{i}/field"
+        path = root / f"{key}.rps"
+        pack(path, field, framework, ratio, options=options)
+        keys.append(key)
+    return keys
+
+
+def request_stream(
+    keys: list[str],
+    shape: tuple[int, ...],
+    read_shape: tuple[int, ...],
+    n_reads: int,
+    seed: int,
+) -> list[tuple[str, tuple]]:
+    """A seeded list of ``(key, region)`` subvolume requests.
+
+    Deterministic in ``seed`` alone, so every configuration replays the
+    identical stream; regions are axis-aligned ``read_shape`` boxes at
+    random offsets, clipped to the field.
+    """
+    rng = np.random.default_rng(seed)
+    requests = []
+    for _ in range(n_reads):
+        key = keys[int(rng.integers(len(keys)))]
+        region = tuple(
+            slice(start := int(rng.integers(max(s - r, 0) + 1)), start + min(r, s))
+            for s, r in zip(shape, read_shape)
+        )
+        requests.append((key, region))
+    return requests
+
+
+def _serve(catalog: StoreCatalog, requests, concurrency: int):
+    """Answer every request (in order) and time the whole stream.
+
+    ``concurrency > 1`` issues requests from a thread pool — the
+    concurrent-reader scenario the shared cache must stay correct under —
+    but results are collected in request order regardless.
+    """
+    t0 = time.perf_counter()
+    if concurrency <= 1:
+        results = [catalog.read(key, region) for key, region in requests]
+    else:
+        with ThreadPoolExecutor(max_workers=concurrency) as pool:
+            futures = [pool.submit(catalog.read, key, region) for key, region in requests]
+            results = [f.result() for f in futures]
+    return results, time.perf_counter() - t0
+
+
+def run_read_bench(
+    framework,
+    *,
+    n_stores: int = 3,
+    shape: tuple[int, ...] = (24, 32, 32),
+    chunk: tuple[int, ...] = (8, 16, 16),
+    ratio: float = 8.0,
+    n_reads: int = 48,
+    read_shape: tuple[int, ...] = (12, 16, 16),
+    workers: int = 2,
+    cache_bytes: int = 64 << 20,
+    concurrency: int = 4,
+    seed: int = 0,
+) -> dict:
+    """Benchmark catalog reads: serial reference vs cached vs parallel+cache.
+
+    Returns the ``BENCH_read.json`` report dict; ``report["identical"]``
+    is the aggregate byte-identity verdict (every configuration's every
+    response digest-equal to the serial, cache-less reference).
+    """
+    shape, chunk, read_shape = tuple(shape), tuple(chunk), tuple(read_shape)
+    configs = {
+        "serial": dict(cache_bytes=0, workers=0, concurrency=1),
+        "cached": dict(cache_bytes=cache_bytes, workers=0, concurrency=concurrency),
+        "parallel+cache": dict(
+            cache_bytes=cache_bytes, workers=workers, concurrency=concurrency
+        ),
+    }
+    with tempfile.TemporaryDirectory(prefix="read-bench-") as tmp:
+        with span("read_bench.fixture", n_stores=n_stores, shape=list(shape)):
+            keys = build_fixture(
+                framework, tmp, n_stores=n_stores, shape=shape, chunk=chunk,
+                ratio=ratio, seed=seed,
+            )
+        requests = request_stream(keys, shape, read_shape, n_reads, seed)
+
+        reference: list[str] | None = None
+        results: dict[str, dict] = {}
+        for name, cfg in configs.items():
+            options = CatalogOptions(
+                cache_bytes=cfg["cache_bytes"], workers=cfg["workers"]
+            )
+            with StoreCatalog(tmp, options=options) as catalog:
+                with span("read_bench.config", config=name, **cfg):
+                    answers, seconds = _serve(catalog, requests, cfg["concurrency"])
+                digests = [digest_array(a) for a in answers]
+                if reference is None:
+                    reference = digests
+                stats = catalog.stats()
+            bytes_served = int(sum(a.nbytes for a in answers))
+            results[name] = {
+                "cache_bytes": int(cfg["cache_bytes"]),
+                "workers": int(cfg["workers"]),
+                "concurrency": int(cfg["concurrency"]),
+                "seconds": seconds,
+                "bytes_served": bytes_served,
+                "bytes_per_s": bytes_served / seconds if seconds > 0 else 0.0,
+                "cache_hit_rate": stats["cache"]["hit_rate"],
+                "cache_evictions": stats["cache"]["evictions"],
+                "identical": digests == reference,
+            }
+
+    return {
+        "schema": SCHEMA,
+        "commit": repo_commit(),
+        "generated_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "compressor": framework.compressor_name,
+        "n_stores": int(n_stores),
+        "shape": list(shape),
+        "chunk": list(chunk),
+        "target_ratio": float(ratio),
+        "n_reads": int(n_reads),
+        "read_shape": list(read_shape),
+        "seed": int(seed),
+        "configs": results,
+        "identical": all(c["identical"] for c in results.values()),
+    }
+
+
+def format_report(report: dict) -> str:
+    """Human-readable per-configuration table of the report."""
+    lines = [
+        f"read-bench: {report['n_stores']} stores shape={tuple(report['shape'])} "
+        f"chunk={tuple(report['chunk'])} ratio={report['target_ratio']:g} "
+        f"reads={report['n_reads']}x{tuple(report['read_shape'])} "
+        f"commit={report['commit'] or '?'}",
+        f"{'config':<16} {'workers':>7} {'conc':>5} {'cache MB':>9} "
+        f"{'MB/s':>9} {'hit rate':>9} {'identical':>10}",
+    ]
+    for name, c in report["configs"].items():
+        lines.append(
+            f"{name:<16} {c['workers']:>7} {c['concurrency']:>5} "
+            f"{c['cache_bytes'] / 1e6:>9.1f} {c['bytes_per_s'] / 1e6:>9.2f} "
+            f"{c['cache_hit_rate']:>9.2%} "
+            f"{'yes' if c['identical'] else 'DIVERGED':>10}"
+        )
+    return "\n".join(lines)
+
+
+def write_report(report: dict, path: str | Path | None = None) -> Path:
+    """Write the report JSON (default: ``BENCH_read.json`` at repo root)."""
+    out = Path(path) if path is not None else _REPO_ROOT / REPORT_NAME
+    out.write_text(json.dumps(report, indent=2, sort_keys=False) + "\n")
+    return out
+
+
+def load_report(path: str | Path | None = None) -> dict | None:
+    """Read a previously committed report; None when absent or unreadable."""
+    p = Path(path) if path is not None else _REPO_ROOT / REPORT_NAME
+    try:
+        report = json.loads(p.read_text())
+    except (OSError, ValueError):
+        return None
+    return report if report.get("schema") == SCHEMA else None

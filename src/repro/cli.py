@@ -22,6 +22,12 @@ Commands mirror the library's workflow:
   byte divergence (or below ``--min-speedup``) and writes the
   commit-stamped report to ``BENCH_codec.json`` at the repo root
   (``--check`` is the tiny CI variant: identity gate only, no file);
+- ``read-bench`` — replay a seeded random-subvolume request stream
+  through a :class:`repro.api.Catalog` of packed stores, serial vs
+  cached vs parallel-with-cache under thread concurrency; exits
+  non-zero on any byte divergence from the serial reference and writes
+  ``BENCH_read.json`` at the repo root (``--check`` is the tiny CI
+  variant: identity gate only, no file);
 - ``trace-summary`` — aggregate a ``--trace`` JSON into a per-stage table.
 
 ``train``, ``compress``, ``bench``, and ``serve-bench`` accept ``--trace out.json``:
@@ -414,6 +420,65 @@ def cmd_codec_bench(args) -> int:
     return 0 if ok else 1
 
 
+def cmd_read_bench(args) -> int:
+    """Concurrent sharded-read benchmark over a store catalog.
+
+    Packs a fixture of ``.rps`` stores, replays one seeded
+    random-subvolume request stream through serial, cached, and
+    parallel-with-cache catalog configurations, and digest-compares every
+    response to the serial reference. Exit 1 on any byte divergence.
+
+    ``--check`` is the CI mode: a tiny fixture keeps the byte-identity
+    gate while dropping the timing cost; nothing is written.
+    """
+    from repro.bench.read_bench import format_report, run_read_bench, write_report
+
+    if args.model:
+        fw = load_framework(args.model)
+    else:
+        from repro.api import FrameworkOptions
+
+        train = load_dataset(args.dataset, shape=tuple(args.train_shape))
+        opts = FrameworkOptions(
+            compressor=args.compressor,
+            rel_error_bounds=tuple(np.geomspace(args.eb_min, args.eb_max, args.n)),
+            n_iter=args.iters,
+            cv=2,
+        )
+        fw = opts.build(args.framework)
+        fw.fit(train)
+
+    kwargs = dict(
+        n_stores=args.stores,
+        shape=tuple(args.shape),
+        chunk=tuple(args.chunk),
+        ratio=args.ratio,
+        n_reads=args.reads,
+        read_shape=tuple(args.read_shape),
+        workers=args.workers,
+        cache_bytes=args.cache_bytes,
+        concurrency=args.concurrency,
+        seed=args.seed,
+    )
+    if args.check:
+        kwargs.update(
+            n_stores=2, shape=(16, 16, 16), chunk=(8, 8, 8),
+            n_reads=12, read_shape=(8, 8, 8), workers=min(args.workers, 2),
+        )
+    report = run_read_bench(fw, **kwargs)
+    print(format_report(report))
+    if not report["identical"]:
+        bad = [n for n, c in report["configs"].items() if not c["identical"]]
+        print(f"FAIL: byte divergence from serial reference in: {', '.join(bad)}")
+        if not args.check:
+            print("report not written (identity gate failed)")
+        return 1
+    if not args.check:
+        out = write_report(report, args.out)
+        print(f"report written to {out}")
+    return 0
+
+
 def cmd_store_info(args) -> int:
     from repro.store import Store
 
@@ -675,6 +740,45 @@ def build_parser() -> argparse.ArgumentParser:
                         "no report written")
     _add_trace_arg(p)
     p.set_defaults(func=cmd_codec_bench)
+
+    p = sub.add_parser(
+        "read-bench",
+        help="replay random subvolume reads through a store catalog; "
+             "fail on byte divergence from the serial reference",
+    )
+    p.add_argument("--model", default=None, help="saved .npz framework; trains one if omitted")
+    p.add_argument("--framework", choices=("carol", "fxrz"), default="carol")
+    p.add_argument("--compressor", choices=available_compressors(), default="szx")
+    p.add_argument("--dataset", choices=DATASET_NAMES, default="miranda",
+                   help="training dataset when no --model is given")
+    p.add_argument("--train-shape", type=int, nargs="+", default=[16, 32, 64],
+                   help="training field shape (chunk-sized) when training")
+    p.add_argument("--stores", type=int, default=3, help="stores in the fixture catalog")
+    p.add_argument("--shape", type=int, nargs="+", default=[32, 48, 48],
+                   help="fixture field shape")
+    p.add_argument("--chunk", type=int, nargs="+", default=[8, 16, 16],
+                   help="fixture chunk shape")
+    p.add_argument("--ratio", type=float, default=8.0, help="fixture pack target ratio")
+    p.add_argument("--reads", type=int, default=48, help="subvolume requests in the stream")
+    p.add_argument("--read-shape", type=int, nargs="+", default=[16, 24, 24],
+                   help="subvolume request shape")
+    p.add_argument("--workers", type=int, default=2,
+                   help="decode worker processes in the parallel configuration")
+    p.add_argument("--cache-bytes", type=int, default=64 << 20,
+                   help="shared chunk-cache budget in the cached configurations")
+    p.add_argument("--concurrency", type=int, default=4,
+                   help="concurrent reader threads in the cached configurations")
+    p.add_argument("--seed", type=int, default=0, help="fixture + request stream seed")
+    p.add_argument("--out", default=None,
+                   help="report path (default: BENCH_read.json at the repo root)")
+    p.add_argument("--eb-min", type=float, default=1e-3)
+    p.add_argument("--eb-max", type=float, default=3e-1)
+    p.add_argument("-n", type=int, default=6, help="training error-bound grid size")
+    p.add_argument("--iters", type=int, default=4, help="training search iterations")
+    p.add_argument("--check", action="store_true",
+                   help="CI mode: tiny fixture, identity gate only, no report written")
+    _add_trace_arg(p)
+    p.set_defaults(func=cmd_read_bench)
 
     p = sub.add_parser("store-info", help="print a store's manifest summary")
     p.add_argument("store", help=".rps path")

@@ -20,7 +20,7 @@ The blessed import surface is :mod:`repro.api` (``Service``,
 ``ServiceOptions``); this package is the implementation.
 """
 
-from repro.serve.cache import CacheStats, LRUCache, digest_array
+from repro.serve.cache import CacheStats, LRUCache, default_cost, digest_array
 from repro.serve.pool import PoolStats, WorkerPool
 from repro.serve.registry import ModelRegistry
 from repro.serve.service import PredictionService, ServiceOptions, VerifiedPrediction
@@ -31,6 +31,7 @@ __all__ = [
     "VerifiedPrediction",
     "LRUCache",
     "CacheStats",
+    "default_cost",
     "digest_array",
     "WorkerPool",
     "PoolStats",

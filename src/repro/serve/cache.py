@@ -7,11 +7,24 @@ arrays share one entry no matter where the arrays came from, which is
 what makes repeated fixed-ratio requests over the same fields (the FRaZ
 serving scenario) effectively free after the first hit.
 
-The cache keeps its own always-on :class:`CacheStats` (the serving layer
-reports hit rates without observability enabled) and mirrors every event
-into the :mod:`repro.obs` metrics registry (``<name>.hits`` /
-``<name>.misses`` / ``<name>.evictions`` counters plus a ``<name>.size``
-gauge) whenever tracing is on.
+:class:`LRUCache` bounds its contents two ways, independently usable:
+
+- **entry count** (``max_entries``, the original mode) — right for the
+  feature cache, whose entries are uniform 5-vectors;
+- **total cost** (``max_cost`` plus a ``cost`` function, typically bytes)
+  — right for the store catalog's decompressed-chunk cache, whose
+  entries vary by orders of magnitude in size. Eviction is still
+  least-recently-used; it just runs until the *cost* fits the budget,
+  and an entry whose own cost exceeds the whole budget is never
+  admitted (it would evict everything and still not fit).
+
+All operations take an internal lock, so one cache can be shared by
+concurrent readers. The cache keeps its own always-on
+:class:`CacheStats` (the serving layer reports hit rates without
+observability enabled) and mirrors every event into the
+:mod:`repro.obs` metrics registry (``<name>.hits`` / ``<name>.misses`` /
+``<name>.evictions`` counters plus ``<name>.size`` — and, in cost mode,
+``<name>.cost`` — gauges) whenever tracing is on.
 """
 
 from __future__ import annotations
@@ -43,6 +56,18 @@ def digest_array(data: np.ndarray) -> str:
     return h.hexdigest()
 
 
+def default_cost(value) -> float:
+    """Cost of one cache entry in bytes: ``nbytes`` for arrays, ``len``
+    for byte strings/sequences, 1 for anything unsized."""
+    nbytes = getattr(value, "nbytes", None)
+    if nbytes is not None:
+        return float(nbytes)
+    try:
+        return float(len(value))
+    except TypeError:
+        return 1.0
+
+
 @dataclass
 class CacheStats:
     """Cumulative hit/miss/eviction counts for one cache."""
@@ -70,46 +95,83 @@ class CacheStats:
 
 
 class LRUCache:
-    """Thread-safe least-recently-used mapping with bounded entry count.
+    """Thread-safe least-recently-used mapping, bounded by entry count
+    and/or total cost.
 
-    ``max_entries=0`` disables caching (every get misses, puts are
-    dropped) so one code path serves cached and uncached configurations.
+    ``max_entries=None`` lifts the entry-count bound (use with
+    ``max_cost``); ``max_entries=0`` or ``max_cost=0`` disables caching
+    entirely (every get misses, puts are dropped) so one code path
+    serves cached and uncached configurations. ``cost`` maps a value to
+    its charge against ``max_cost`` (default: :func:`default_cost`,
+    i.e. bytes).
     """
 
-    def __init__(self, max_entries: int = 256, name: str = "serve.cache") -> None:
-        if max_entries < 0:
-            raise ValueError("max_entries must be >= 0")
-        self.max_entries = int(max_entries)
+    def __init__(
+        self,
+        max_entries: int | None = 256,
+        name: str = "serve.cache",
+        *,
+        max_cost: float | None = None,
+        cost=None,
+    ) -> None:
+        if max_entries is not None and max_entries < 0:
+            raise ValueError("max_entries must be >= 0 (or None for unbounded)")
+        if max_cost is not None and max_cost < 0:
+            raise ValueError("max_cost must be >= 0 (or None for unbounded)")
+        self.max_entries = None if max_entries is None else int(max_entries)
+        self.max_cost = None if max_cost is None else float(max_cost)
         self.name = name
         self.stats = CacheStats()
+        self.total_cost = 0.0
+        self._cost = cost if cost is not None else default_cost
         self._lock = threading.Lock()
+        # key -> (value, cost); cost is 0.0 when no cost bound is set
         self._entries: OrderedDict = OrderedDict()
+
+    @property
+    def disabled(self) -> bool:
+        """True when either bound is zero — puts are dropped entirely."""
+        return self.max_entries == 0 or self.max_cost == 0
 
     def get(self, key, default=None):
         """Return the cached value (refreshing recency) or ``default``."""
         with self._lock:
-            value = self._entries.get(key, _MISSING)
-            if value is _MISSING:
+            entry = self._entries.get(key, _MISSING)
+            if entry is _MISSING:
                 self.stats.misses += 1
                 count(f"{self.name}.misses")
                 return default
             self._entries.move_to_end(key)
             self.stats.hits += 1
             count(f"{self.name}.hits")
-            return value
+            return entry[0]
 
     def put(self, key, value) -> None:
-        """Insert/refresh an entry, evicting the least recent past capacity."""
-        if self.max_entries == 0:
+        """Insert/refresh an entry, evicting the least recent past either
+        bound. In cost mode an entry costing more than the whole budget
+        is not admitted."""
+        if self.disabled:
             return
         with self._lock:
-            self._entries[key] = value
-            self._entries.move_to_end(key)
-            while len(self._entries) > self.max_entries:
-                self._entries.popitem(last=False)
+            cost = self._cost(value) if self.max_cost is not None else 0.0
+            if self.max_cost is not None and cost > self.max_cost:
+                return
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self.total_cost -= old[1]
+            self._entries[key] = (value, cost)
+            self.total_cost += cost
+            while self._entries and (
+                (self.max_entries is not None and len(self._entries) > self.max_entries)
+                or (self.max_cost is not None and self.total_cost > self.max_cost)
+            ):
+                _, (_, evicted_cost) = self._entries.popitem(last=False)
+                self.total_cost -= evicted_cost
                 self.stats.evictions += 1
                 count(f"{self.name}.evictions")
             set_gauge(f"{self.name}.size", len(self._entries))
+            if self.max_cost is not None:
+                set_gauge(f"{self.name}.cost", self.total_cost)
 
     def __contains__(self, key) -> bool:
         with self._lock:
@@ -122,4 +184,7 @@ class LRUCache:
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+            self.total_cost = 0.0
             set_gauge(f"{self.name}.size", 0)
+            if self.max_cost is not None:
+                set_gauge(f"{self.name}.cost", 0)

@@ -23,6 +23,7 @@ in-process execution so callers keep a single code path.
 from __future__ import annotations
 
 import threading
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeout
 from concurrent.futures.process import BrokenProcessPool
@@ -110,21 +111,29 @@ class WorkerPool:
         return result
 
     def run_many(self, fn, tasks: list[tuple]) -> list:
+        """Deprecated alias of :meth:`map_ordered` (the historical name).
+
+        Kept as a warn-and-forward shim so existing imports keep working;
+        new code should call :meth:`map_ordered`.
+        """
+        warnings.warn(
+            "WorkerPool.run_many is deprecated; use WorkerPool.map_ordered",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.map_ordered(fn, tasks)
+
+    def map_ordered(self, fn, tasks, *, timeout: float | None = None) -> list:
         """Run ``fn(*task)`` for every task, preserving order.
 
         Worker death and timeouts degrade the affected tasks to in-process
         execution; exceptions raised *by the task itself* propagate
         unchanged (they would fail in-process too, and hiding them would
-        turn bugs into silent fallbacks).
-        """
-        return self.map_ordered(fn, tasks)
-
-    def map_ordered(self, fn, tasks, *, timeout: float | None = None) -> list:
-        """:meth:`run_many` with a per-call task timeout override.
-
-        ``timeout=None`` keeps the pool's default. Results are returned in
-        task order regardless of completion order — the guarantee the
-        store's wave scheduler relies on for deterministic commits.
+        turn bugs into silent fallbacks). ``timeout`` overrides the pool's
+        per-task default for this call. Results are returned in task order
+        regardless of completion order — the guarantee the store's wave
+        scheduler (and the catalog's decode stage) rely on for
+        deterministic output.
         """
         tasks = [tuple(args) for args in tasks]
         task_timeout = self.timeout if timeout is None else timeout
@@ -160,5 +169,5 @@ class WorkerPool:
         return results
 
     def run(self, fn, *args) -> object:
-        """Run one task (same semantics as :meth:`run_many`)."""
-        return self.run_many(fn, [tuple(args)])[0]
+        """Run one task (same semantics as :meth:`map_ordered`)."""
+        return self.map_ordered(fn, [tuple(args)])[0]

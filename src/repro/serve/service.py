@@ -25,7 +25,7 @@ hot-reload behaviour.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields as dc_fields
 
 import numpy as np
 
@@ -42,7 +42,7 @@ from repro.serve.registry import ModelRegistry
 from repro.utils.validation import as_float_array
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, kw_only=True)
 class ServiceOptions:
     """Frozen, hashable serving configuration (counterpart of
     :class:`repro.api.FrameworkOptions` for the serving layer).
@@ -55,6 +55,16 @@ class ServiceOptions:
     workers: int = 0
     max_pending: int = 32
     timeout_seconds: float = 30.0
+
+    @classmethod
+    def from_service(cls, service: "PredictionService") -> "ServiceOptions":
+        """Recover the options a live service was built with."""
+        return service.options
+
+    def to_kwargs(self) -> dict:
+        """The constructor kwargs that rebuild these options
+        (``ServiceOptions(**opts.to_kwargs())`` round-trips)."""
+        return {f.name: getattr(self, f.name) for f in dc_fields(self)}
 
     def build(self, framework) -> "PredictionService":
         """Construct a :class:`PredictionService` over a fitted framework."""
@@ -187,7 +197,7 @@ class PredictionService:
         spec = self._worker_extract_spec(framework)
         if self.options.workers > 0 and len(missing) > 1 and spec is not None:
             kind, stride = spec
-            rows = self.pool.run_many(
+            rows = self.pool.map_ordered(
                 _extract_task, [(kind, stride, arr) for _, arr in missing]
             )
         else:
@@ -247,7 +257,7 @@ class PredictionService:
                 (framework.compressor_name, arr, pred.error_bound)
                 for (arr, _), pred in zip(pairs, preds)
             ]
-            achieved = self.pool.run_many(_verify_task, tasks)
+            achieved = self.pool.map_ordered(_verify_task, tasks)
         return [
             VerifiedPrediction(prediction=p, achieved_ratio=float(a))
             for p, a in zip(preds, achieved)

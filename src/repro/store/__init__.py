@@ -24,6 +24,17 @@ or an ``np.memmap`` (see :func:`open_raw`) — memmapped inputs stream
 through one wave of chunks at a time, so fields larger than RAM never
 materialize.
 
+Many stores are served together through a
+:class:`~repro.store.catalog.StoreCatalog` (``Catalog`` on
+:mod:`repro.api`): datasets addressed by key, manifests loaded lazily,
+and a shared byte-budgeted LRU of decompressed chunks plus optional
+worker-pool decode injected into every reader it opens::
+
+    from repro.api import Catalog, CatalogOptions
+
+    with Catalog("stores/", options=CatalogOptions(cache_bytes=1 << 28)) as cat:
+        sub = cat.read("climate/temp", (slice(0, 8), slice(None), slice(None)))
+
 Packing parallelizes without changing a single byte:
 ``StoreOptions(workers=N)`` fans each wave's feature extraction and
 compression across a :class:`repro.serve.WorkerPool`, and because
@@ -33,6 +44,7 @@ for every worker count — ``wave_size=1`` is the classic serial loop
 bit-for-bit.
 """
 
+from repro.store.catalog import CatalogOptions, StoreCatalog
 from repro.store.chunking import Chunk, ChunkGrid, default_chunk_shape
 from repro.store.format import CorruptChunkError, StoreFormatError
 from repro.store.reader import StoreReader
@@ -56,6 +68,8 @@ class Store(StoreReader):
 __all__ = [
     "Store",
     "StoreOptions",
+    "StoreCatalog",
+    "CatalogOptions",
     "StoreReader",
     "StoreWriter",
     "PackReport",

@@ -1,0 +1,258 @@
+"""Many ``.rps`` stores behind one façade: the sharded read service.
+
+One :class:`~repro.store.reader.StoreReader` serves one container;
+production is thousands of them. :class:`StoreCatalog` addresses a fleet
+of stores by **dataset key** — populated by scanning a directory tree
+for ``*.rps`` files (the key is the relative path minus the suffix) and/
+or by explicit :meth:`~StoreCatalog.register` calls — and shares two
+resources across every reader it opens:
+
+- a **byte-budgeted LRU of decompressed chunks**
+  (:class:`~repro.serve.cache.LRUCache` in cost mode, keyed by
+  ``(dataset key, chunk coords)``), so repeated subvolume reads across
+  concurrent callers re-decode nothing and total cache memory stays
+  under one budget no matter how many stores are open;
+- an optional **decode pool** (:class:`~repro.serve.pool.WorkerPool`)
+  that fans a read's chunk decodes out over worker processes.
+
+Both are *injected into* the staged reader — the catalog holds no read
+logic of its own, so catalog reads are byte-identical to plain
+``StoreReader`` reads for every worker count and cache size.
+
+Manifests load lazily: registration and scanning only record paths;
+a store's file is opened (and its manifest parsed) the first time that
+key is read. A corrupt chunk in one store raises
+:class:`~repro.store.format.CorruptChunkError` for that read only —
+every other store (and every other chunk) stays readable.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, fields as dc_fields
+from pathlib import Path
+
+import numpy as np
+
+from repro.obs import count
+from repro.serve.cache import LRUCache
+from repro.serve.pool import WorkerPool
+from repro.store.reader import StoreReader
+
+#: Default shared chunk-cache budget: 256 MiB of decompressed chunks.
+DEFAULT_CACHE_BYTES = 256 << 20
+
+
+@dataclass(frozen=True, kw_only=True)
+class CatalogOptions:
+    """Frozen, hashable catalog configuration (the catalog counterpart of
+    :class:`repro.api.FrameworkOptions`).
+
+    ``cache_bytes`` budgets the shared decompressed-chunk LRU (0 disables
+    caching; every read decodes). ``workers`` fans chunk decode out over
+    a process pool (0 keeps decode in-process). ``verify=False`` skips
+    checksum verification on payload fetch for trusted local media.
+    """
+
+    cache_bytes: int = DEFAULT_CACHE_BYTES
+    workers: int = 0
+    max_pending: int = 32
+    timeout_seconds: float = 30.0
+    verify: bool = True
+
+    def __post_init__(self) -> None:
+        if self.cache_bytes < 0:
+            raise ValueError("cache_bytes must be >= 0")
+        if self.workers < 0:
+            raise ValueError("workers must be >= 0")
+        if self.max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+
+    @classmethod
+    def from_catalog(cls, catalog: "StoreCatalog") -> "CatalogOptions":
+        """Recover the options a live catalog was built with."""
+        return catalog.options
+
+    def to_kwargs(self) -> dict:
+        """The constructor kwargs that rebuild these options
+        (``CatalogOptions(**opts.to_kwargs())`` round-trips)."""
+        return {f.name: getattr(self, f.name) for f in dc_fields(self)}
+
+    def build(self, root=None) -> "StoreCatalog":
+        """Construct a :class:`StoreCatalog` from these options."""
+        return StoreCatalog(root, options=self)
+
+
+class StoreCatalog:
+    """Addresses many ``.rps`` stores by dataset key, with a shared
+    byte-budgeted chunk cache and optional parallel decode.
+
+    ``root``, if given, is scanned immediately (see :meth:`scan`);
+    more stores can be added any time via :meth:`register` or further
+    scans. Keys are plain strings; scanning derives them from relative
+    paths (``climate/temp.rps`` → ``climate/temp``).
+    """
+
+    def __init__(self, root=None, *, options: CatalogOptions | None = None) -> None:
+        self.options = options or CatalogOptions()
+        self._paths: dict[str, Path] = {}
+        self._readers: dict[str, StoreReader] = {}
+        self._lock = threading.Lock()
+        self.chunk_cache = LRUCache(
+            max_entries=None,
+            name="store.chunk_cache",
+            max_cost=float(self.options.cache_bytes),
+        )
+        self.pool: WorkerPool | None = None
+        if self.options.workers > 0:
+            self.pool = WorkerPool(
+                self.options.workers,
+                max_pending=self.options.max_pending,
+                timeout=self.options.timeout_seconds,
+                name="catalog.pool",
+            )
+        if root is not None:
+            self.scan(root)
+
+    # -- registration ------------------------------------------------------------
+
+    def register(self, key: str, path) -> None:
+        """Register one store under ``key``. Lazy: the file is not opened
+        (nor required to exist yet) until the key is first read."""
+        key = str(key)
+        with self._lock:
+            old = self._paths.get(key)
+            if old is not None and Path(path) != old:
+                # Re-pointing a key invalidates its open reader; cached
+                # chunks age out naturally (keys are scoped per dataset
+                # key, but the new store's chunks overwrite on next read).
+                reader = self._readers.pop(key, None)
+                if reader is not None:
+                    reader.close()
+            self._paths[key] = Path(path)
+        count("catalog.registered")
+
+    def scan(self, root) -> list[str]:
+        """Scan ``root`` recursively for ``*.rps`` files and register each
+        under its relative path without the suffix. Returns the keys
+        found (sorted), whether or not they were already registered."""
+        root = Path(root)
+        if not root.is_dir():
+            raise FileNotFoundError(f"catalog root is not a directory: {root}")
+        found: list[str] = []
+        for path in sorted(root.rglob("*.rps")):
+            key = path.relative_to(root).with_suffix("").as_posix()
+            self.register(key, path)
+            found.append(key)
+        return found
+
+    # -- key access --------------------------------------------------------------
+
+    def keys(self) -> list[str]:
+        with self._lock:
+            return sorted(self._paths)
+
+    def __contains__(self, key) -> bool:
+        with self._lock:
+            return str(key) in self._paths
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._paths)
+
+    def path(self, key: str) -> Path:
+        """The registered path for ``key`` (whether or not it is open)."""
+        with self._lock:
+            try:
+                return self._paths[str(key)]
+            except KeyError:
+                raise KeyError(
+                    f"no store registered under {key!r} "
+                    f"({len(self._paths)} keys registered)"
+                ) from None
+
+    def reader(self, key: str) -> StoreReader:
+        """The (lazily opened) reader for ``key``, with the shared chunk
+        cache and decode pool injected."""
+        key = str(key)
+        with self._lock:
+            reader = self._readers.get(key)
+            if reader is not None:
+                return reader
+            try:
+                path = self._paths[key]
+            except KeyError:
+                raise KeyError(
+                    f"no store registered under {key!r} "
+                    f"({len(self._paths)} keys registered)"
+                ) from None
+            reader = StoreReader(
+                path,
+                verify=self.options.verify,
+                chunk_cache=self.chunk_cache,
+                cache_scope=key,
+                pool=self.pool,
+            )
+            self._readers[key] = reader
+            count("catalog.opened")
+            return reader
+
+    __getitem__ = reader
+
+    # -- reads -------------------------------------------------------------------
+
+    def read(self, key: str, region=None) -> np.ndarray:
+        """Read a subvolume (or the whole field, ``region=None``) from the
+        store registered under ``key``."""
+        return self.reader(key).read(region)
+
+    def read_chunk(self, key: str, coords: tuple[int, ...]) -> np.ndarray:
+        """Decompress (or serve from cache) one chunk of one store."""
+        return self.reader(key).read_chunk(coords)
+
+    def info(self, key: str) -> dict:
+        return self.reader(key).info()
+
+    # -- accounting --------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Catalog-level accounting: fleet size, cache hit rate and cost,
+        pool task counts."""
+        with self._lock:
+            registered = len(self._paths)
+            opened = len(self._readers)
+        out = {
+            "stores_registered": registered,
+            "stores_open": opened,
+            "cache": self.chunk_cache.stats.as_dict(),
+            "cache_cost_bytes": self.chunk_cache.total_cost,
+            "cache_budget_bytes": float(self.options.cache_bytes),
+        }
+        if self.pool is not None:
+            out["pool"] = self.pool.stats.as_dict()
+        return out
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        """Close every open reader, drop the cache, shut the pool down."""
+        with self._lock:
+            readers, self._readers = list(self._readers.values()), {}
+        for reader in readers:
+            reader.close()
+        self.chunk_cache.clear()
+        if self.pool is not None:
+            self.pool.shutdown()
+
+    def __enter__(self) -> "StoreCatalog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"StoreCatalog({len(self)} stores, "
+            f"cache_bytes={self.options.cache_bytes}, "
+            f"workers={self.options.workers})"
+        )

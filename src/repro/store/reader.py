@@ -1,16 +1,34 @@
-"""Random-access reads from a ``.rps`` container.
+"""Random-access reads from a ``.rps`` container, as three separable stages.
 
 :class:`StoreReader` parses the manifest once at open and then serves
-chunk and subvolume reads by seeking straight to the requested payloads:
-a read decompresses *only* the chunks intersecting the request (counted
-in ``store.read.chunks_decompressed``), verifies each payload against
-its recorded blake2b checksum, and raises
-:class:`~repro.store.format.CorruptChunkError` naming the offending
-chunk — every other chunk stays readable.
+chunk and subvolume reads through a staged pipeline:
+
+1. **fetch + verify** (:meth:`StoreReader.fetch_payload`) — seek to the
+   chunk's payload, read exactly its recorded byte count, and check it
+   against the manifest's blake2b checksum, raising
+   :class:`~repro.store.format.CorruptChunkError` naming the offending
+   chunk — every other chunk stays readable;
+2. **decode** (:func:`decode_chunk`) — invert the payload through the
+   recorded compressor. A pure module-level function of the manifest
+   entry and the payload bytes, so it pickles to worker processes and a
+   :class:`~repro.serve.pool.WorkerPool` can fan a read's decodes out;
+3. **assemble** (:func:`assemble_region`) — scatter each chunk's
+   intersection into the caller's output array.
+
+The stages are separable so a :class:`~repro.store.catalog.StoreCatalog`
+can inject a shared decompressed-chunk cache (``chunk_cache``) and a
+decode pool (``pool``) without duplicating any reader logic: a cached
+chunk skips stages 1 *and* 2 — no re-read, no re-verify, no decode —
+and because decode is deterministic and assembly order is fixed
+(flat chunk-id order), the bytes a read returns are identical for every
+worker count and cache size. A read decompresses *only* the chunks
+intersecting the request (counted in ``store.read.chunks_decompressed``;
+cache hits count in ``store.read.chunks_cached``).
 """
 
 from __future__ import annotations
 
+import threading
 from pathlib import Path
 
 import numpy as np
@@ -22,16 +40,77 @@ from repro.store.chunking import ChunkGrid
 from repro.store.format import CorruptChunkError, StoreFormatError, chunk_checksum, read_manifest
 
 
+def decode_chunk(
+    compressor: str, entry: dict, payload: bytes, verify: bool = True
+) -> np.ndarray:
+    """Stage 2: decode one chunk's payload through its recorded codec.
+
+    Pure function of ``(compressor, manifest entry, payload)`` — no file
+    handles, no reader state — and every argument pickles, so this is
+    also the task a decode pool runs. ``verify=False`` strips the
+    codec-level ``payload_check`` (the store-level checksum was already
+    skipped at fetch time), opting out of integrity work at both levels.
+    """
+    meta = dict(entry["meta"])
+    meta["shape"] = tuple(meta["shape"])
+    if not verify:
+        meta.pop("payload_check", None)
+    result = CompressionResult(
+        compressor=compressor,
+        payload=payload,
+        metadata=meta,
+        original_bytes=int(entry["raw_bytes"]),
+        error_bound=float(entry["error_bound"]),
+    )
+    return get_compressor(compressor).decompress(result)
+
+
+def assemble_region(out: np.ndarray, sel, chunk, data: np.ndarray) -> None:
+    """Stage 3: scatter one chunk's intersection with ``sel`` into ``out``.
+
+    ``sel`` is the normalized region (per-axis slices in field
+    coordinates); ``chunk`` carries its own field-coordinate slices. The
+    chunk array is only read, never written — safe for cached arrays.
+    """
+    out_sl, chunk_sl = [], []
+    for r, c in zip(sel, chunk.slices):
+        start = max(r.start, c.start)
+        stop = min(r.stop, c.stop)
+        out_sl.append(slice(start - r.start, stop - r.start))
+        chunk_sl.append(slice(start - c.start, stop - c.start))
+    out[tuple(out_sl)] = data[tuple(chunk_sl)]
+
+
 class StoreReader:
     """Read side of the store: manifest introspection + random access.
 
     ``verify=False`` skips checksum verification (trusted local media);
     the default verifies every payload it decompresses.
+
+    ``chunk_cache`` (an :class:`repro.serve.cache.LRUCache`, typically
+    cost-bounded in bytes) caches decompressed chunk arrays under
+    ``(cache_scope, coords)`` keys; arrays entering the cache are frozen
+    read-only, since hits hand back the shared object. ``pool`` (a
+    :class:`repro.serve.pool.WorkerPool`) fans a multi-chunk read's
+    decode stage out across worker processes. Both default to off, which
+    is the classic serial reader unchanged.
     """
 
-    def __init__(self, path, *, verify: bool = True) -> None:
+    def __init__(
+        self,
+        path,
+        *,
+        verify: bool = True,
+        chunk_cache=None,
+        cache_scope: str | None = None,
+        pool=None,
+    ) -> None:
         self.path = Path(path)
         self.verify = bool(verify)
+        self.chunk_cache = chunk_cache
+        self.cache_scope = str(cache_scope) if cache_scope is not None else str(self.path)
+        self.pool = pool
+        self._io_lock = threading.Lock()
         self._fh = open(self.path, "rb")
         try:
             self.manifest = read_manifest(self._fh, self.path)
@@ -96,11 +175,15 @@ class StoreReader:
             "chunk_ratio_max": max(ratios) if ratios else 0.0,
         }
 
-    # -- chunk access ------------------------------------------------------------
+    # -- stage 1: fetch + verify -------------------------------------------------
 
-    def _read_payload(self, entry: dict, *, force_verify: bool = False) -> bytes:
-        self._fh.seek(int(entry["offset"]))
-        payload = self._fh.read(int(entry["nbytes"]))
+    def fetch_payload(self, entry: dict, *, force_verify: bool = False) -> bytes:
+        """Read one chunk's payload bytes and verify them against the
+        manifest checksum. Serialized on an internal lock, so concurrent
+        subvolume reads can share one reader."""
+        with self._io_lock:
+            self._fh.seek(int(entry["offset"]))
+            payload = self._fh.read(int(entry["nbytes"]))
         coords = tuple(entry["coords"])
         if len(payload) != int(entry["nbytes"]):
             raise CorruptChunkError(
@@ -110,27 +193,87 @@ class StoreReader:
             raise CorruptChunkError(coords, self.path, "checksum mismatch")
         return payload
 
-    def read_chunk(self, coords: tuple[int, ...]) -> np.ndarray:
-        """Decompress one chunk; returns its array in the stored dtype."""
-        entry = self.chunk_entry(coords)
-        payload = self._read_payload(entry)
-        meta = dict(entry["meta"])
-        meta["shape"] = tuple(meta["shape"])
-        if not self.verify:
-            # verify=False opts out of integrity work at *both* levels:
-            # the store's blake2b and the codec's own payload check.
-            meta.pop("payload_check", None)
-        result = CompressionResult(
-            compressor=self.compressor,
-            payload=payload,
-            metadata=meta,
-            original_bytes=int(entry["raw_bytes"]),
-            error_bound=float(entry["error_bound"]),
-        )
-        out = self._codec.decompress(result)
+    # kept as the historical internal name; fetch_payload is the stage API
+    _read_payload = fetch_payload
+
+    # -- chunk access ------------------------------------------------------------
+
+    def _cache_key(self, coords: tuple[int, ...]):
+        return (self.cache_scope, coords)
+
+    def _cache_put(self, coords: tuple[int, ...], data: np.ndarray) -> None:
+        # Hits hand back the shared object, so freeze it: a caller
+        # mutating a returned chunk must not corrupt later reads.
+        data.setflags(write=False)
+        self.chunk_cache.put(self._cache_key(coords), data)
+
+    def _decode_one(self, entry: dict) -> np.ndarray:
+        """Stages 1+2 for one chunk, with metrics."""
+        payload = self.fetch_payload(entry)
+        out = decode_chunk(self.compressor, entry, payload, self.verify)
         count("store.read.chunks_decompressed")
         count("store.read.bytes_decompressed", int(entry["nbytes"]))
         return out
+
+    def read_chunk(self, coords: tuple[int, ...]) -> np.ndarray:
+        """Decompress one chunk; returns its array in the stored dtype.
+
+        With a chunk cache attached, a hit skips payload fetch, checksum
+        verification, and decode entirely (and the returned array is
+        read-only — it is the shared cached object).
+        """
+        key = tuple(int(c) for c in coords)
+        entry = self.chunk_entry(key)
+        if self.chunk_cache is not None:
+            cached = self.chunk_cache.get(self._cache_key(key))
+            if cached is not None:
+                count("store.read.chunks_cached")
+                return cached
+        out = self._decode_one(entry)
+        if self.chunk_cache is not None:
+            self._cache_put(key, out)
+        return out
+
+    def _chunk_arrays(self, chunks) -> list[np.ndarray]:
+        """Decoded arrays for a list of chunks, in the given order.
+
+        Cache lookups first; the misses run fetch+verify serially (one
+        file handle) and decode either inline or fanned across ``pool``.
+        The result is order-deterministic either way, so reads stay
+        byte-identical for every worker count and cache size.
+        """
+        arrays: list[np.ndarray | None] = [None] * len(chunks)
+        missing: list[int] = []
+        for i, chunk in enumerate(chunks):
+            if self.chunk_cache is not None:
+                cached = self.chunk_cache.get(self._cache_key(chunk.coords))
+                if cached is not None:
+                    count("store.read.chunks_cached")
+                    arrays[i] = cached
+                    continue
+            missing.append(i)
+        if not missing:
+            return arrays
+        entries = [self.chunk_entry(chunks[i].coords) for i in missing]
+        if self.pool is not None and len(missing) > 1:
+            payloads = [self.fetch_payload(e) for e in entries]
+            decoded = self.pool.map_ordered(
+                decode_chunk,
+                [
+                    (self.compressor, entry, payload, self.verify)
+                    for entry, payload in zip(entries, payloads)
+                ],
+            )
+            for entry in entries:
+                count("store.read.chunks_decompressed")
+                count("store.read.bytes_decompressed", int(entry["nbytes"]))
+        else:
+            decoded = [self._decode_one(entry) for entry in entries]
+        for i, data in zip(missing, decoded):
+            if self.chunk_cache is not None:
+                self._cache_put(chunks[i].coords, data)
+            arrays[i] = data
+        return arrays
 
     # -- subvolume reads ---------------------------------------------------------
 
@@ -139,7 +282,7 @@ class StoreReader:
 
         ``region`` follows numpy basic slicing without steps: a tuple of
         slices/ints (ints keep their axis as length one). Only intersecting
-        chunks are decompressed.
+        chunks are decompressed (or served from the chunk cache).
         """
         sel = self.grid.normalize_region(region)
         out_shape = tuple(s.stop - s.start for s in sel)
@@ -149,15 +292,8 @@ class StoreReader:
             "store.read", path=str(self.path), n_chunks=len(chunks), shape=out_shape
         ):
             count("store.read.requests")
-            for chunk in chunks:
-                data = self.read_chunk(chunk.coords)
-                out_sl, chunk_sl = [], []
-                for r, c in zip(sel, chunk.slices):
-                    start = max(r.start, c.start)
-                    stop = min(r.stop, c.stop)
-                    out_sl.append(slice(start - r.start, stop - r.start))
-                    chunk_sl.append(slice(start - c.start, stop - c.start))
-                out[tuple(out_sl)] = data[tuple(chunk_sl)]
+            for chunk, data in zip(chunks, self._chunk_arrays(chunks)):
+                assemble_region(out, sel, chunk, data)
         return out
 
     def __getitem__(self, region) -> np.ndarray:
@@ -167,7 +303,7 @@ class StoreReader:
         """Checksum every chunk payload (even with ``verify=False``);
         returns the count verified."""
         for entry in self._entries.values():
-            self._read_payload(entry, force_verify=True)
+            self.fetch_payload(entry, force_verify=True)
         return len(self._entries)
 
     # -- lifecycle ---------------------------------------------------------------

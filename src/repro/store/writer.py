@@ -34,7 +34,7 @@ improves the very model that budgets the next pack.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field as dc_field
+from dataclasses import dataclass, field as dc_field, fields as dc_fields
 from pathlib import Path
 
 import numpy as np
@@ -53,7 +53,7 @@ from repro.utils.validation import as_float_array
 DEFAULT_WAVE_SIZE = 8
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, kw_only=True)
 class StoreOptions:
     """Frozen, hashable packing configuration (the store counterpart of
     :class:`repro.api.FrameworkOptions`).
@@ -93,6 +93,25 @@ class StoreOptions:
             raise ValueError("workers must be >= 0")
         if self.wave_size is not None and self.wave_size < 1:
             raise ValueError("wave_size must be >= 1")
+
+    @classmethod
+    def from_manifest(cls, manifest: dict) -> "StoreOptions":
+        """Recover the packing options recorded in a store's manifest.
+
+        Only the fields a manifest persists (grid, loop mode, safety) are
+        recoverable; runtime knobs (``workers``, ``wave_size``, timeouts)
+        come back as defaults — they never change the packed bytes.
+        """
+        return cls(
+            chunk_shape=tuple(int(c) for c in manifest["chunk_shape"]),
+            closed_loop=bool(manifest.get("closed_loop", True)),
+            safety=float(manifest.get("safety", 0.0)),
+        )
+
+    def to_kwargs(self) -> dict:
+        """The constructor kwargs that rebuild these options
+        (``StoreOptions(**opts.to_kwargs())`` round-trips)."""
+        return {f.name: getattr(self, f.name) for f in dc_fields(self)}
 
     @property
     def resolved_wave_size(self) -> int:

@@ -8,11 +8,14 @@ import pytest
 from repro.api import (
     BatchPrediction,
     Carol,
+    Catalog,
+    CatalogOptions,
     FrameworkOptions,
     Fxrz,
     ModelRegistry,
     Service,
     ServiceOptions,
+    StoreOptions,
     load,
     save,
 )
@@ -60,6 +63,52 @@ class TestFacadeImports:
 
         assert Carol is CarolFramework
         assert Fxrz is FxrzFramework
+
+    def test_catalog_reexports(self):
+        import repro
+        from repro.store import CatalogOptions as deep_opts
+        from repro.store import StoreCatalog
+
+        assert repro.Catalog is Catalog is StoreCatalog
+        assert repro.CatalogOptions is CatalogOptions is deep_opts
+
+    def test_all_lists_every_entry_point_once(self):
+        import repro
+        import repro.api
+        import repro.serve
+        import repro.store
+
+        for mod in (repro, repro.api, repro.serve, repro.store):
+            assert len(mod.__all__) == len(set(mod.__all__)), mod.__name__
+            for name in mod.__all__:
+                assert hasattr(mod, name), f"{mod.__name__}.{name}"
+        # the documented facade pairs are all on repro.api
+        for name in ("Catalog", "CatalogOptions", "Store", "StoreOptions",
+                     "Service", "ServiceOptions", "Carol", "FrameworkOptions"):
+            assert name in repro.api.__all__
+
+    def test_options_are_keyword_only(self):
+        for cls, arg in (
+            (FrameworkOptions, "szx"),
+            (ServiceOptions, 8),
+            (StoreOptions, (8, 8, 8)),
+            (CatalogOptions, 1024),
+        ):
+            with pytest.raises(TypeError):
+                cls(arg)
+
+    def test_options_to_kwargs_symmetry(self):
+        for opts in (
+            ServiceOptions(workers=2),
+            StoreOptions(chunk_shape=(4, 4, 4), safety=0.5),
+            CatalogOptions(cache_bytes=123),
+        ):
+            assert type(opts)(**opts.to_kwargs()) == opts
+
+    def test_store_options_from_manifest(self):
+        opts = StoreOptions(chunk_shape=(4, 8, 8), closed_loop=False, safety=0.25)
+        manifest = {"chunk_shape": [4, 8, 8], "closed_loop": False, "safety": 0.25}
+        assert StoreOptions.from_manifest(manifest) == opts
 
     def test_deprecated_paths_still_work(self):
         # the pre-facade import surface must keep working verbatim

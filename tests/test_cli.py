@@ -16,7 +16,7 @@ class TestParser:
         assert set(sub.choices) >= {
             "datasets", "estimate", "train", "predict", "compress", "bench",
             "serve-bench", "store-pack", "store-info", "store-unpack",
-            "pack-bench", "trace-summary",
+            "pack-bench", "read-bench", "trace-summary",
         }
 
 
@@ -223,6 +223,43 @@ class TestPackBench:
         out = capsys.readouterr().out
         assert "byte-identical" in out
         assert "below required" in out
+
+
+class TestReadBench:
+    def test_check_mode_gates_identity_without_writing(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)  # any accidental report write lands here
+        rc = main([
+            "read-bench", "--check", "--train-shape", "8", "8", "8",
+            "-n", "5", "--iters", "3", "--workers", "2",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for config in ("serial", "cached", "parallel+cache"):
+            assert config in out
+        assert "DIVERGED" not in out
+        assert "report written" not in out
+        assert not list(tmp_path.glob("BENCH_read.json"))
+
+    def test_writes_report_with_throughput_and_hit_rate(self, tmp_path, capsys):
+        import json
+
+        report_path = tmp_path / "BENCH_read.json"
+        rc = main([
+            "read-bench", "--train-shape", "8", "8", "8", "-n", "5",
+            "--iters", "3", "--stores", "2", "--shape", "16", "16", "16",
+            "--chunk", "8", "8", "8", "--reads", "10",
+            "--read-shape", "8", "8", "8", "--workers", "0",
+            "--out", str(report_path),
+        ])
+        assert rc == 0
+        report = json.loads(report_path.read_text())
+        assert report["schema"] == "repro.read-bench/v1"
+        assert report["identical"] is True
+        for config in ("serial", "cached", "parallel+cache"):
+            assert report["configs"][config]["bytes_per_s"] > 0
+            assert 0.0 <= report["configs"][config]["cache_hit_rate"] <= 1.0
+        assert report["configs"]["serial"]["cache_hit_rate"] == 0.0
+        assert report["configs"]["cached"]["cache_hit_rate"] > 0.0
 
 
 class TestServeBench:

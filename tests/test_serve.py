@@ -87,6 +87,67 @@ class TestLRUCache:
         assert len(cache) == 0
 
 
+class TestLRUCacheCostMode:
+    def test_byte_budget_eviction(self):
+        cache = LRUCache(max_entries=None, max_cost=100)
+        a = np.zeros(10, dtype=np.float32)  # 40 bytes each
+        cache.put("a", a)
+        cache.put("b", a.copy())
+        assert cache.total_cost == 80
+        cache.put("c", a.copy())  # 120 > 100: evicts LRU "a"
+        assert "a" not in cache and "b" in cache and "c" in cache
+        assert cache.total_cost == 80
+        assert cache.stats.evictions == 1
+
+    def test_eviction_respects_recency(self):
+        cache = LRUCache(max_entries=None, max_cost=100)
+        a = np.zeros(10, dtype=np.float32)
+        cache.put("a", a)
+        cache.put("b", a.copy())
+        cache.get("a")  # refresh "a"; "b" is now least recent
+        cache.put("c", a.copy())
+        assert "a" in cache and "c" in cache and "b" not in cache
+
+    def test_oversized_entry_never_admitted(self):
+        cache = LRUCache(max_entries=None, max_cost=100)
+        cache.put("big", np.zeros(100, dtype=np.float32))  # 400 > 100
+        assert "big" not in cache
+        assert cache.stats.evictions == 0  # rejected, nothing evicted
+
+    def test_replacement_updates_total_cost(self):
+        cache = LRUCache(max_entries=None, max_cost=1000)
+        cache.put("a", np.zeros(10, dtype=np.float32))
+        cache.put("a", np.zeros(20, dtype=np.float32))
+        assert cache.total_cost == 80
+        assert len(cache) == 1
+
+    def test_zero_cost_budget_disables(self):
+        cache = LRUCache(max_entries=None, max_cost=0)
+        cache.put("a", np.zeros(4))
+        assert cache.get("a") is None
+        assert len(cache) == 0
+
+    def test_custom_cost_function(self):
+        cache = LRUCache(max_entries=None, max_cost=5, cost=len)
+        cache.put("a", "xx")
+        cache.put("b", "yyy")
+        assert cache.total_cost == 5
+        cache.put("c", "z")
+        assert "a" not in cache  # 6 > 5 evicted the least recent
+
+    def test_count_bound_still_applies_with_cost(self):
+        cache = LRUCache(max_entries=2, max_cost=1000)
+        for key in "abc":
+            cache.put(key, np.zeros(2))
+        assert len(cache) == 2 and "a" not in cache
+
+    def test_clear_resets_cost(self):
+        cache = LRUCache(max_entries=None, max_cost=100)
+        cache.put("a", np.zeros(10, dtype=np.float32))
+        cache.clear()
+        assert cache.total_cost == 0.0 and len(cache) == 0
+
+
 def _square(x):
     return x * x
 
@@ -105,13 +166,13 @@ def _die_unless_pid(main_pid, x):
 class TestWorkerPool:
     def test_in_process_mode(self):
         pool = WorkerPool(0)
-        assert pool.run_many(_square, [(i,) for i in range(5)]) == [0, 1, 4, 9, 16]
+        assert pool.map_ordered(_square, [(i,) for i in range(5)]) == [0, 1, 4, 9, 16]
         assert pool.stats.completed == 5
         assert pool.stats.fallbacks == 0
 
     def test_order_preserved_across_workers(self):
         with WorkerPool(2, max_pending=3) as pool:
-            out = pool.run_many(_square, [(i,) for i in range(8)])
+            out = pool.map_ordered(_square, [(i,) for i in range(8)])
         assert out == [i * i for i in range(8)]
 
     def test_single_task_runs_inline(self):
@@ -121,23 +182,23 @@ class TestWorkerPool:
 
     def test_timeout_falls_back_in_process(self):
         with WorkerPool(2, timeout=0.2) as pool:
-            out = pool.run_many(_slow, [(1, 0.0), (2, 5.0), (3, 0.0)])
+            out = pool.map_ordered(_slow, [(1, 0.0), (2, 5.0), (3, 0.0)])
         assert out == [1, 2, 3]
         assert pool.stats.timeouts == 1
         assert pool.stats.fallbacks == 1
 
     def test_dead_worker_falls_back_in_process(self):
         with WorkerPool(2) as pool:
-            out = pool.run_many(_die_unless_pid, [(os.getpid(), i) for i in range(4)])
+            out = pool.map_ordered(_die_unless_pid, [(os.getpid(), i) for i in range(4)])
             assert out == [0, 1, 2, 3]
             assert pool.stats.fallbacks >= 1
             # the pool recycled its executor and keeps serving
-            assert pool.run_many(_square, [(2,), (3,)]) == [4, 9]
+            assert pool.map_ordered(_square, [(2,), (3,)]) == [4, 9]
 
     def test_task_exceptions_propagate(self):
         with WorkerPool(2) as pool:
             with pytest.raises(TypeError):
-                pool.run_many(_square, [(1,), ("nope", 2)])
+                pool.map_ordered(_square, [(1,), ("nope", 2)])
 
     def test_invalid_config_rejected(self):
         with pytest.raises(ValueError):
@@ -170,11 +231,11 @@ class TestWorkerPool:
         assert out == [1, 2, 3]
         assert pool.stats.timeouts == 1
 
-    def test_run_many_is_map_ordered_without_override(self):
-        with WorkerPool(2) as pool:
-            assert pool.run_many(_square, [(i,) for i in range(5)]) == pool.map_ordered(
-                _square, [(i,) for i in range(5)]
-            )
+    def test_run_many_is_deprecated_forwarding_shim(self):
+        pool = WorkerPool(0)
+        with pytest.warns(DeprecationWarning, match="map_ordered"):
+            out = pool.run_many(_square, [(i,) for i in range(5)])
+        assert out == pool.map_ordered(_square, [(i,) for i in range(5)])
 
 
 class TestModelRegistry:
@@ -342,6 +403,19 @@ class TestServiceOptions:
         assert isinstance(svc, PredictionService)
         assert svc.cache.max_entries == 4
         svc.close()
+
+    def test_keyword_only(self):
+        with pytest.raises(TypeError):
+            ServiceOptions(4)
+
+    def test_to_kwargs_round_trips(self):
+        opts = ServiceOptions(cache_entries=8, workers=3)
+        assert ServiceOptions(**opts.to_kwargs()) == opts
+
+    def test_from_service_round_trips(self, fitted):
+        opts = ServiceOptions(cache_entries=4, workers=0)
+        with opts.build(fitted) as svc:
+            assert ServiceOptions.from_service(svc) == opts
 
 
 class TestServiceFromRegistry:
