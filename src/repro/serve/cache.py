@@ -133,6 +133,19 @@ class LRUCache:
         """True when either bound is zero — puts are dropped entirely."""
         return self.max_entries == 0 or self.max_cost == 0
 
+    def admits(self, value) -> bool:
+        """Whether :meth:`put` would store ``value``: ``False`` when the
+        cache is disabled or the value alone exceeds the cost budget.
+        Both bounds are fixed at construction, so the answer cannot go
+        stale between this check and the put — callers can safely apply
+        irreversible pre-insertion effects (e.g. freezing an array) only
+        when admission is certain."""
+        if self.disabled:
+            return False
+        if self.max_cost is not None and self._cost(value) > self.max_cost:
+            return False
+        return True
+
     def get(self, key, default=None):
         """Return the cached value (refreshing recency) or ``default``."""
         with self._lock:
@@ -146,16 +159,19 @@ class LRUCache:
             count(f"{self.name}.hits")
             return entry[0]
 
-    def put(self, key, value) -> None:
+    def put(self, key, value) -> bool:
         """Insert/refresh an entry, evicting the least recent past either
         bound. In cost mode an entry costing more than the whole budget
-        is not admitted."""
+        is not admitted. Returns whether the entry was stored — ``False``
+        when the cache is disabled or the entry alone exceeds the budget
+        — so callers can tie side effects (e.g. freezing an array) to
+        actual admission."""
         if self.disabled:
-            return
+            return False
         with self._lock:
             cost = self._cost(value) if self.max_cost is not None else 0.0
             if self.max_cost is not None and cost > self.max_cost:
-                return
+                return False
             old = self._entries.pop(key, None)
             if old is not None:
                 self.total_cost -= old[1]
@@ -172,6 +188,30 @@ class LRUCache:
             set_gauge(f"{self.name}.size", len(self._entries))
             if self.max_cost is not None:
                 set_gauge(f"{self.name}.cost", self.total_cost)
+            return True
+
+    def evict_scope(self, scope) -> int:
+        """Drop every entry whose key is a tuple starting with ``scope``
+        (the ``(scope, ...)`` convention of the store chunk cache).
+
+        This is *invalidation*, not capacity pressure: the removals are
+        counted under ``<name>.invalidations`` rather than in
+        :attr:`CacheStats.evictions`. Returns the number removed."""
+        with self._lock:
+            doomed = [
+                key
+                for key in self._entries
+                if isinstance(key, tuple) and key and key[0] == scope
+            ]
+            for key in doomed:
+                _, cost = self._entries.pop(key)
+                self.total_cost -= cost
+            if doomed:
+                count(f"{self.name}.invalidations", len(doomed))
+                set_gauge(f"{self.name}.size", len(self._entries))
+                if self.max_cost is not None:
+                    set_gauge(f"{self.name}.cost", self.total_cost)
+            return len(doomed)
 
     def __contains__(self, key) -> bool:
         with self._lock:

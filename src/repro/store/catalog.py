@@ -9,9 +9,11 @@ resources across every reader it opens:
 
 - a **byte-budgeted LRU of decompressed chunks**
   (:class:`~repro.serve.cache.LRUCache` in cost mode, keyed by
-  ``(dataset key, chunk coords)``), so repeated subvolume reads across
-  concurrent callers re-decode nothing and total cache memory stays
-  under one budget no matter how many stores are open;
+  ``(dataset key + registration generation, chunk coords)``), so
+  repeated subvolume reads across concurrent callers re-decode nothing
+  and total cache memory stays under one budget no matter how many
+  stores are open — and re-registering a key under a new path can never
+  serve the old store's chunks (see :meth:`StoreCatalog.register`);
 - an optional **decode pool** (:class:`~repro.serve.pool.WorkerPool`)
   that fans a read's chunk decodes out over worker processes.
 
@@ -97,13 +99,21 @@ class StoreCatalog:
         self.options = options or CatalogOptions()
         self._paths: dict[str, Path] = {}
         self._readers: dict[str, StoreReader] = {}
+        # Per-key re-registration generation, folded into each reader's
+        # cache scope so a re-pointed key can never hit the old store's
+        # cached chunks (see register()).
+        self._gens: dict[str, int] = {}
         self._lock = threading.Lock()
         self.chunk_cache = LRUCache(
             max_entries=None,
             name="store.chunk_cache",
             max_cost=float(self.options.cache_bytes),
         )
+        # Scan before spawning workers: a bad root raises here, and at
+        # this point there is no pool to leak.
         self.pool: WorkerPool | None = None
+        if root is not None:
+            self.scan(root)
         if self.options.workers > 0:
             self.pool = WorkerPool(
                 self.options.workers,
@@ -111,26 +121,42 @@ class StoreCatalog:
                 timeout=self.options.timeout_seconds,
                 name="catalog.pool",
             )
-        if root is not None:
-            self.scan(root)
 
     # -- registration ------------------------------------------------------------
 
     def register(self, key: str, path) -> None:
         """Register one store under ``key``. Lazy: the file is not opened
-        (nor required to exist yet) until the key is first read."""
+        (nor required to exist yet) until the key is first read.
+
+        Re-pointing an existing key to a different path retires its open
+        reader and its cached chunks: the key's cache-scope generation
+        is bumped (so even an in-flight read of the old store can never
+        repopulate entries the new store would hit) and the old
+        generation's entries are evicted eagerly to free budget. The
+        displaced reader is *not* closed here — reads already in flight
+        on it finish normally against the old store, and its file handle
+        closes when the last reference is dropped.
+        """
         key = str(key)
         with self._lock:
             old = self._paths.get(key)
-            if old is not None and Path(path) != old:
-                # Re-pointing a key invalidates its open reader; cached
-                # chunks age out naturally (keys are scoped per dataset
-                # key, but the new store's chunks overwrite on next read).
-                reader = self._readers.pop(key, None)
-                if reader is not None:
-                    reader.close()
+            repointed = old is not None and Path(path) != old
+            if repointed:
+                old_scope = self._scope(key)
+                self._gens[key] = self._gens.get(key, 0) + 1
+                self._readers.pop(key, None)
             self._paths[key] = Path(path)
+        if repointed:
+            self.chunk_cache.evict_scope(old_scope)
         count("catalog.registered")
+
+    def _scope(self, key: str) -> str:
+        """Cache scope for ``key``'s current generation. The generation
+        is always the final ``#``-separated segment, so two scopes are
+        equal only for the same (key, generation) pair — no collisions
+        even for keys that themselves contain ``#``. Caller must hold
+        ``self._lock``."""
+        return f"{key}#{self._gens.get(key, 0)}"
 
     def scan(self, root) -> list[str]:
         """Scan ``root`` recursively for ``*.rps`` files and register each
@@ -190,7 +216,7 @@ class StoreCatalog:
                 path,
                 verify=self.options.verify,
                 chunk_cache=self.chunk_cache,
-                cache_scope=key,
+                cache_scope=self._scope(key),
                 pool=self.pool,
             )
             self._readers[key] = reader

@@ -202,10 +202,17 @@ class StoreReader:
         return (self.cache_scope, coords)
 
     def _cache_put(self, coords: tuple[int, ...], data: np.ndarray) -> None:
-        # Hits hand back the shared object, so freeze it: a caller
-        # mutating a returned chunk must not corrupt later reads.
-        data.setflags(write=False)
-        self.chunk_cache.put(self._cache_key(coords), data)
+        # Hits hand back the shared object, so freeze anything the cache
+        # stores — before the put, so no other thread can see it
+        # writeable. A chunk the cache would decline (cache disabled, or
+        # chunk bigger than the whole budget) is left untouched: freezing
+        # can be irreversible (pool-decoded arrays are views over pickle
+        # bytes), and an uncached chunk must come back exactly as the
+        # plain reader would return it. admits() cannot go stale —
+        # the cache's bounds are fixed at construction.
+        if self.chunk_cache.admits(data):
+            data.setflags(write=False)
+            self.chunk_cache.put(self._cache_key(coords), data)
 
     def _decode_one(self, entry: dict) -> np.ndarray:
         """Stages 1+2 for one chunk, with metrics."""
@@ -219,8 +226,11 @@ class StoreReader:
         """Decompress one chunk; returns its array in the stored dtype.
 
         With a chunk cache attached, a hit skips payload fetch, checksum
-        verification, and decode entirely (and the returned array is
-        read-only — it is the shared cached object).
+        verification, and decode entirely. Any array the cache admits is
+        frozen read-only (hits hand back the shared object, and the
+        first miss returns that same object); chunks the cache declines
+        — cache disabled, or chunk bigger than the whole budget — stay
+        writeable, as in the plain uncached reader.
         """
         key = tuple(int(c) for c in coords)
         entry = self.chunk_entry(key)

@@ -95,6 +95,34 @@ class TestRegistrationAndScan:
         with pytest.raises(FileNotFoundError):
             StoreCatalog(tmp_path / "absent")
 
+    def test_failed_scan_spawns_no_pool(self, tmp_path, monkeypatch):
+        # The scan runs before the pool is built, so a bad root cannot
+        # leak worker processes with no handle to shut them down.
+        import repro.store.catalog as catalog_mod
+
+        def _boom(*args, **kwargs):
+            raise AssertionError("WorkerPool built despite failed scan")
+
+        monkeypatch.setattr(catalog_mod, "WorkerPool", _boom)
+        with pytest.raises(FileNotFoundError):
+            StoreCatalog(tmp_path / "absent", options=CatalogOptions(workers=2))
+
+    def test_reregister_invalidates_cached_chunks(self, store_root):
+        root, fields = store_root
+        with StoreCatalog(options=CatalogOptions(cache_bytes=64 << 20)) as cat:
+            cat.register("data", root / "climate/temp.rps")
+            np.testing.assert_array_equal(cat.read("data"), fields["climate/temp"])
+            assert len(cat.chunk_cache) > 0  # old store's chunks are cached
+            cat.register("data", root / "climate/wind.rps")
+            # the re-point evicted the old generation's entries eagerly
+            assert len(cat.chunk_cache) == 0
+            # and reads now return the NEW store's bytes, not stale cache
+            np.testing.assert_array_equal(cat.read("data"), fields["climate/wind"])
+            np.testing.assert_array_equal(
+                cat.read_chunk("data", (0, 0, 0)),
+                fields["climate/wind"][:8, :16, :16],
+            )
+
 
 class TestMultiStoreRoundTrip:
     def test_reads_by_key_match_direct_store_reads(self, store_root):
@@ -206,6 +234,15 @@ class TestSharedChunkCache:
             out = cat.read_chunk("climate/temp", (0, 0, 0))
             with pytest.raises(ValueError):
                 out[0, 0, 0] = 0.0
+
+    def test_uncached_chunks_stay_writeable(self, store_root):
+        # A declined put (disabled cache) must not freeze the array —
+        # cache_bytes=0 behaves like a plain Store on the caller side.
+        root, _ = store_root
+        with StoreCatalog(root, options=CatalogOptions(cache_bytes=0)) as cat:
+            out = cat.read_chunk("climate/temp", (0, 0, 0))
+            assert out.flags.writeable
+            out[0, 0, 0] = 0.0  # does not raise
 
 
 class TestFailureIsolation:

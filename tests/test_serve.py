@@ -147,6 +147,37 @@ class TestLRUCacheCostMode:
         cache.clear()
         assert cache.total_cost == 0.0 and len(cache) == 0
 
+    def test_put_reports_admission(self):
+        cache = LRUCache(max_entries=None, max_cost=100)
+        assert cache.put("a", np.zeros(10, dtype=np.float32)) is True
+        assert cache.put("big", np.zeros(100, dtype=np.float32)) is False
+        assert LRUCache(max_entries=0).put("a", 1) is False
+        assert LRUCache(max_entries=None, max_cost=0).put("a", 1) is False
+
+    def test_admits_predicts_put(self):
+        cache = LRUCache(max_entries=None, max_cost=100)
+        small = np.zeros(10, dtype=np.float32)
+        big = np.zeros(100, dtype=np.float32)
+        assert cache.admits(small) and cache.put("a", small)
+        assert not cache.admits(big) and not cache.put("b", big)
+        assert not LRUCache(max_entries=0).admits(small)
+        assert not LRUCache(max_entries=None, max_cost=0).admits(small)
+        assert LRUCache(max_entries=4).admits(small)  # count mode, no cost bound
+
+    def test_evict_scope_drops_only_that_scope(self):
+        cache = LRUCache(max_entries=None, max_cost=1000)
+        a = np.zeros(10, dtype=np.float32)  # 40 bytes each
+        cache.put(("old", (0, 0)), a)
+        cache.put(("old", (1, 0)), a.copy())
+        cache.put(("new", (0, 0)), a.copy())
+        cache.put("plain-key", a.copy())  # non-tuple keys are untouched
+        assert cache.evict_scope("old") == 2
+        assert ("old", (0, 0)) not in cache and ("old", (1, 0)) not in cache
+        assert ("new", (0, 0)) in cache and "plain-key" in cache
+        assert cache.total_cost == 80
+        assert cache.stats.evictions == 0  # invalidation, not capacity pressure
+        assert cache.evict_scope("old") == 0
+
 
 def _square(x):
     return x * x
