@@ -21,6 +21,10 @@ Main entry points:
 - :mod:`repro.serve` — the serving layer (:class:`Service`,
   :class:`ServiceOptions`, :class:`ModelRegistry`): batched, cached,
   optionally multi-process prediction over a fitted framework;
+- :mod:`repro.load` — the traffic layer (:class:`Gateway`,
+  :class:`GatewayOptions`): asyncio admission control + request
+  coalescing over a service, plus seeded workload topologies and the
+  ``python -m repro load-bench`` saturation benchmark;
 - :mod:`repro.store` — the chunked compressed array store
   (:class:`Store`, :class:`StoreOptions`): single-file ``.rps``
   containers with closed-loop byte budgeting and random-access reads
@@ -45,7 +49,10 @@ from repro.api import (
     CatalogOptions,
     FrameworkOptions,
     Fxrz,
+    Gateway,
+    GatewayOptions,
     ModelRegistry,
+    Overloaded,
     Service,
     ServiceOptions,
     Store,
@@ -88,6 +95,9 @@ __all__ = [
     "Service",
     "ServiceOptions",
     "ModelRegistry",
+    "Gateway",
+    "GatewayOptions",
+    "Overloaded",
     "Store",
     "StoreOptions",
     "Catalog",

@@ -12,6 +12,9 @@ The recommended entry point for applications::
     service = Service(carol)                   # batched + cached serving
     preds = service.predict_batch([(field.data, 16.0), (field.data, 32.0)])
 
+    async with Gateway(service) as gw:         # admission + coalescing
+        pred = await gw.submit(field.data, 16.0)   # == service.predict, bitwise
+
     Store.pack("field.rps", field, carol, target_ratio=16.0,
                options=StoreOptions(workers=4))  # wave-parallel, byte-identical
     with Store("field.rps") as st:             # chunked random-access reads
@@ -28,13 +31,17 @@ written against either surface interoperates freely; the deep import
 paths remain supported (but new code should import from here).
 
 The ``*Options`` dataclasses (:class:`FrameworkOptions`,
-:class:`ServiceOptions`, :class:`StoreOptions`, :class:`CatalogOptions`)
-are the hashable, frozen, keyword-only counterparts of each layer's
-constructor arguments: share one options value across services, use it
-as a cache key, and :meth:`~FrameworkOptions.build` the live object from
-it. Each round-trips — ``from_*`` recovers the options from a built
-object (or manifest) and ``to_kwargs()`` flattens back to constructor
-keywords.
+:class:`ServiceOptions`, :class:`GatewayOptions`, :class:`StoreOptions`,
+:class:`CatalogOptions`) are the hashable, frozen, keyword-only
+counterparts of each layer's constructor arguments: share one options
+value across services, use it as a cache key, and
+:meth:`~FrameworkOptions.build` the live object from it. Each
+round-trips — ``from_*`` recovers the options from a built object (or
+manifest) and ``to_kwargs()`` flattens back to constructor keywords.
+Stats are typed the same way: :meth:`Service.stats`,
+:meth:`Gateway.stats`, and :meth:`Catalog.stats` return frozen
+:class:`ServiceStats` / :class:`GatewayStats` / :class:`CatalogStats`
+snapshots (each with ``as_dict()`` for serialization).
 
 Signature conventions, uniform across the surface: configuration is
 keyword-only everywhere; a single requested ratio is ``target_ratio``
@@ -59,9 +66,28 @@ from repro.core.framework import (
     SetupReport,
 )
 from repro.core.fxrz import FxrzFramework
+from repro.load.gateway import (
+    Gateway,
+    GatewayClosed,
+    GatewayOptions,
+    GatewayStats,
+    Overloaded,
+)
 from repro.serve.registry import ModelRegistry
-from repro.serve.service import PredictionService, ServiceOptions, VerifiedPrediction
-from repro.store import CatalogOptions, PackReport, Store, StoreCatalog, StoreOptions
+from repro.serve.service import (
+    PredictionService,
+    ServiceOptions,
+    ServiceStats,
+    VerifiedPrediction,
+)
+from repro.store import (
+    CatalogOptions,
+    CatalogStats,
+    PackReport,
+    Store,
+    StoreCatalog,
+    StoreOptions,
+)
 from repro.utils.serialization import load_framework, save_framework
 
 #: Facade aliases — ``Carol`` is ``CarolFramework``, nothing in between.
@@ -161,12 +187,19 @@ __all__ = [
     "FrameworkOptions",
     "Service",
     "ServiceOptions",
+    "ServiceStats",
     "ModelRegistry",
     "VerifiedPrediction",
+    "Gateway",
+    "GatewayOptions",
+    "GatewayStats",
+    "GatewayClosed",
+    "Overloaded",
     "Store",
     "StoreOptions",
     "Catalog",
     "CatalogOptions",
+    "CatalogStats",
     "PackReport",
     "load",
     "save",

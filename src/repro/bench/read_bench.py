@@ -172,8 +172,8 @@ def run_read_bench(
                 "seconds": seconds,
                 "bytes_served": bytes_served,
                 "bytes_per_s": bytes_served / seconds if seconds > 0 else 0.0,
-                "cache_hit_rate": stats["cache"]["hit_rate"],
-                "cache_evictions": stats["cache"]["evictions"],
+                "cache_hit_rate": stats.cache.hit_rate,
+                "cache_evictions": stats.cache.evictions,
                 "identical": digests == reference,
             }
 

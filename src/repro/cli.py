@@ -28,6 +28,13 @@ Commands mirror the library's workflow:
   non-zero on any byte divergence from the serial reference and writes
   ``BENCH_read.json`` at the repo root (``--check`` is the tiny CI
   variant: identity gate only, no file);
+- ``load-bench`` — sweep offered load (open-loop Poisson rates and
+  closed-loop client counts) through the :class:`repro.api.Gateway`
+  over a service; exits non-zero if any gateway response diverges
+  bitwise from direct ``service.predict`` calls and writes
+  ``BENCH_serve.json`` (p50/p95/p99 latency, throughput, rejection
+  rate, saturation point) at the repo root (``--check`` is the tiny CI
+  variant: identity gate plus a micro sweep, no file);
 - ``trace-summary`` — aggregate a ``--trace`` JSON into a per-stage table.
 
 ``train``, ``compress``, ``bench``, and ``serve-bench`` accept ``--trace out.json``:
@@ -229,17 +236,17 @@ def cmd_serve_bench(args) -> int:
     _line("baseline", base_lat, base_wall)
     _line("service", serve_lat, serve_wall)
     print(f"speedup   {base_wall / serve_wall:>9.1f}x throughput")
-    cache = stats["cache"]
+    cache = stats.cache
     print(
-        f"cache     {cache['hits']} hits / {cache['misses']} misses "
-        f"({100.0 * cache['hit_rate']:.1f}% hit rate), "
-        f"{cache['evictions']} evictions"
+        f"cache     {cache.hits} hits / {cache.misses} misses "
+        f"({100.0 * cache.hit_rate:.1f}% hit rate), "
+        f"{cache.evictions} evictions"
     )
     if args.workers:
-        pool = stats["pool"]
+        pool = stats.pool
         print(
-            f"pool      {pool['completed']} tasks, {pool['fallbacks']} fallbacks, "
-            f"{pool['timeouts']} timeouts"
+            f"pool      {pool.completed} tasks, {pool.fallbacks} fallbacks, "
+            f"{pool.timeouts} timeouts"
         )
 
     ok = True
@@ -249,10 +256,71 @@ def cmd_serve_bench(args) -> int:
         ok = False
     else:
         print("error bounds: bitwise-identical to baseline")
-    if len(stream) > len(datas) and cache["hits"] == 0 and args.cache > 0:
+    if len(stream) > len(datas) and cache.hits == 0 and args.cache > 0:
         print("FAIL: repeated-field stream produced zero cache hits")
         ok = False
     return 0 if ok else 1
+
+
+def cmd_load_bench(args) -> int:
+    """Gateway saturation benchmark: sweep offered load, gate determinism.
+
+    Trains (or loads) a framework, proves every gateway response is
+    bitwise-identical to direct ``service.predict`` calls under several
+    coalescing configurations, calibrates the warm batched capacity, and
+    sweeps open-loop Poisson rates plus closed-loop client counts,
+    writing ``BENCH_serve.json`` with the located saturation point. Exit
+    1 on any determinism divergence.
+
+    ``--check`` is the CI mode: a tiny sweep keeps the identity gate
+    while dropping the timing cost; nothing is written.
+    """
+    from repro.load.bench import format_report, run_load_bench, write_report
+
+    if args.model:
+        fw = load_framework(args.model)
+    else:
+        from repro.api import FrameworkOptions
+
+        train = load_dataset(args.dataset, shape=tuple(args.train_shape))
+        opts = FrameworkOptions(
+            compressor=args.compressor,
+            rel_error_bounds=tuple(np.geomspace(args.eb_min, args.eb_max, args.n)),
+            n_iter=args.iters,
+            cv=2,
+        )
+        fw = opts.build(args.framework)
+        fw.fit(train)
+
+    kwargs = dict(
+        shape=tuple(args.shape),
+        n_fields=args.fields,
+        n_requests=args.requests,
+        repetitions=args.reps,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        max_pending=args.max_pending,
+        cache_entries=args.cache,
+        seed=args.seed,
+    )
+    if args.check:
+        kwargs.update(
+            shape=(8, 12, 12), n_fields=2, n_requests=16, repetitions=1,
+            rate_multiples=(0.5, 4.0), closed_clients=(2,),
+            identity_requests=12,
+        )
+    report = run_load_bench(fw, **kwargs)
+    print(format_report(report))
+    if not report["identical"]:
+        bad = [n for n, c in report["identity"]["configs"].items() if not c["identical"]]
+        print(f"FAIL: gateway responses diverge from service.predict in: {', '.join(bad)}")
+        if not args.check:
+            print("report not written (identity gate failed)")
+        return 1
+    if not args.check:
+        out = write_report(report, args.out)
+        print(f"report written to {out}")
+    return 0
 
 
 def _store_source(args):
@@ -779,6 +847,41 @@ def build_parser() -> argparse.ArgumentParser:
                    help="CI mode: tiny fixture, identity gate only, no report written")
     _add_trace_arg(p)
     p.set_defaults(func=cmd_read_bench)
+
+    p = sub.add_parser(
+        "load-bench",
+        help="sweep offered load through the async gateway; "
+             "fail if responses diverge from direct service.predict",
+    )
+    p.add_argument("--model", default=None, help="saved .npz framework; trains one if omitted")
+    p.add_argument("--framework", choices=("carol", "fxrz"), default="carol")
+    p.add_argument("--compressor", choices=available_compressors(), default="szx")
+    p.add_argument("--dataset", choices=DATASET_NAMES, default="miranda",
+                   help="training dataset when no --model is given")
+    p.add_argument("--train-shape", type=int, nargs="+", default=[12, 16, 16],
+                   help="training field shape when training")
+    p.add_argument("--shape", type=int, nargs="+", default=[12, 16, 16],
+                   help="request field shape")
+    p.add_argument("--fields", type=int, default=4, help="distinct fields in the stream")
+    p.add_argument("--requests", type=int, default=120, help="requests per run")
+    p.add_argument("--reps", type=int, default=2, help="repetitions per sweep cell")
+    p.add_argument("--max-batch", type=int, default=16, help="gateway coalescing batch cap")
+    p.add_argument("--max-wait-ms", type=float, default=2.0,
+                   help="gateway coalescing linger window")
+    p.add_argument("--max-pending", type=int, default=64,
+                   help="admission cap (queued + in-flight requests)")
+    p.add_argument("--cache", type=int, default=256, help="feature-cache entries")
+    p.add_argument("--eb-min", type=float, default=1e-3)
+    p.add_argument("--eb-max", type=float, default=1e-1)
+    p.add_argument("-n", type=int, default=5, help="training error-bound grid size")
+    p.add_argument("--iters", type=int, default=4, help="training search iterations")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", default=None,
+                   help="report path (default: BENCH_serve.json at the repo root)")
+    p.add_argument("--check", action="store_true",
+                   help="CI mode: tiny sweep, identity gate only, no report written")
+    _add_trace_arg(p)
+    p.set_defaults(func=cmd_load_bench)
 
     p = sub.add_parser("store-info", help="print a store's manifest summary")
     p.add_argument("store", help=".rps path")

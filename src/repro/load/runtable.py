@@ -1,0 +1,166 @@
+"""Run-table driver: scenario × load level × repetition over the gateway.
+
+The muBench-style experiment design: enumerate every benchmark run up
+front as a :class:`RunSpec` (so the whole sweep is inspectable and each
+run's seed is fixed before anything executes), then :func:`execute_run`
+each spec against a *fresh* service + gateway — fresh so per-run cache
+hit rates and queue statistics are honest, not inherited from the
+previous load level.
+
+Each run produces a :class:`RunResult` bundling the workload's
+:class:`~repro.load.workload.Measurement` (latencies, rejections) with
+the gateway's and service's typed stats snapshots; ``row()`` flattens
+one result to the dict shape committed in ``BENCH_serve.json``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+
+from repro.load.gateway import Gateway, GatewayOptions, GatewayStats
+from repro.load.workload import (
+    ClosedLoopClients,
+    Measurement,
+    OpenLoopPoisson,
+    drive_closed_loop,
+    drive_open_loop,
+)
+from repro.obs import timed_span
+from repro.serve.service import PredictionService, ServiceOptions, ServiceStats
+
+#: Seed stride between runs — each spec draws an independent stream.
+_SEED_STRIDE = 7919
+
+
+@dataclass(frozen=True, kw_only=True)
+class RunSpec:
+    """One cell of the run table, fixed before execution."""
+
+    scenario: str  # human-readable, e.g. "open-poisson@40rps"
+    topology: str  # "open" | "closed"
+    load: float  # offered rate (open) or client count (closed)
+    n_requests: int
+    repetition: int
+    seed: int
+
+
+def build_run_table(
+    *,
+    open_rates: list[float] | tuple[float, ...] = (),
+    closed_clients: list[int] | tuple[int, ...] = (),
+    n_requests: int,
+    repetitions: int = 1,
+    base_seed: int = 0,
+) -> list[RunSpec]:
+    """Enumerate the sweep: every open-loop rate and closed-loop client
+    count, ``repetitions`` times each, with per-run derived seeds."""
+    if repetitions < 1:
+        raise ValueError("repetitions must be >= 1")
+    specs: list[RunSpec] = []
+    for rep in range(repetitions):
+        for rate in open_rates:
+            specs.append(RunSpec(
+                scenario=f"open-poisson@{rate:g}rps", topology="open",
+                load=float(rate), n_requests=n_requests, repetition=rep,
+                seed=base_seed + _SEED_STRIDE * len(specs),
+            ))
+        for clients in closed_clients:
+            specs.append(RunSpec(
+                scenario=f"closed-{clients}clients", topology="closed",
+                load=float(clients), n_requests=n_requests, repetition=rep,
+                seed=base_seed + _SEED_STRIDE * len(specs),
+            ))
+    return specs
+
+
+@dataclass
+class RunResult:
+    """One executed run: workload measurement + typed stats snapshots."""
+
+    spec: RunSpec
+    measurement: Measurement
+    gateway: GatewayStats
+    service: ServiceStats
+
+    def row(self) -> dict:
+        """The per-run record committed in ``BENCH_serve.json``."""
+        m = self.measurement
+        return {
+            "scenario": self.spec.scenario,
+            "topology": self.spec.topology,
+            "load": self.spec.load,
+            "repetition": self.spec.repetition,
+            "seed": self.spec.seed,
+            "requests": len(m.outcomes),
+            "completed": m.completed,
+            "rejected": m.rejected,
+            "rejection_rate": m.rejection_rate,
+            "wall_s": m.wall_s,
+            "throughput_rps": m.throughput_rps,
+            "p50_ms": m.percentile_ms(50),
+            "p95_ms": m.percentile_ms(95),
+            "p99_ms": m.percentile_ms(99),
+            "cache_hit_rate": self.service.cache.hit_rate,
+            "batches": self.gateway.batches,
+            "mean_batch_size": self.gateway.mean_batch_size,
+        }
+
+
+def _workload_for(spec: RunSpec, n_fields: int, ratios: tuple[float, ...]):
+    if spec.topology == "open":
+        return OpenLoopPoisson(
+            rate=spec.load, n_requests=spec.n_requests, n_fields=n_fields,
+            ratios=ratios, seed=spec.seed,
+        )
+    if spec.topology == "closed":
+        clients = max(1, int(spec.load))
+        return ClosedLoopClients(
+            n_clients=clients,
+            requests_per_client=max(1, spec.n_requests // clients),
+            n_fields=n_fields, ratios=ratios, seed=spec.seed,
+        )
+    raise ValueError(f"unknown topology {spec.topology!r}")
+
+
+async def _drive(gateway: Gateway, datas: list, workload) -> Measurement:
+    async with gateway:
+        if isinstance(workload, OpenLoopPoisson):
+            return await drive_open_loop(gateway, datas, workload.schedule())
+        return await drive_closed_loop(gateway, datas, workload.schedule())
+
+
+def execute_run(
+    framework,
+    spec: RunSpec,
+    datas: list,
+    *,
+    service_options: ServiceOptions | None = None,
+    gateway_options: GatewayOptions | None = None,
+    ratios: tuple[float, ...] | None = None,
+) -> RunResult:
+    """Run one spec against a fresh ``Service`` + ``Gateway`` pair.
+
+    ``datas`` is the field pool the workload indexes into; ``ratios``
+    overrides the default target-ratio menu. The event loop lives and
+    dies inside this call (``asyncio.run``), so run tables execute from
+    plain synchronous code.
+    """
+    from repro.load.workload import DEFAULT_RATIOS
+
+    ratio_menu = tuple(ratios) if ratios is not None else DEFAULT_RATIOS
+    workload = _workload_for(spec, len(datas), ratio_menu)
+    with timed_span(
+        "load.run", scenario=spec.scenario, repetition=spec.repetition
+    ):
+        with PredictionService(
+            framework, options=service_options or ServiceOptions()
+        ) as service:
+            gateway = (gateway_options or GatewayOptions()).build(service)
+            measurement = asyncio.run(_drive(gateway, datas, workload))
+            return RunResult(
+                spec=spec,
+                measurement=measurement,
+                gateway=gateway.stats(),
+                service=service.stats(),
+            )

@@ -1,0 +1,237 @@
+"""Workload topologies for driving the gateway: who sends what, when.
+
+Modeled on the muBench-style topology/scale studies: a benchmark run is
+a *workload model* (how load is offered) replayed against the gateway,
+and the two canonical models bracket real traffic:
+
+- **open loop** (:class:`OpenLoopPoisson`) — requests arrive on a
+  Poisson process at a fixed *offered rate*, regardless of whether
+  earlier requests have finished. This is "millions of independent
+  users": arrivals don't slow down when the service does, so offered
+  load can exceed capacity and the admission controller has to shed —
+  the topology that finds the saturation point.
+- **closed loop** (:class:`ClosedLoopClients`) — ``n_clients`` sessions
+  each issue a request, await the response, think, repeat. Load is
+  self-limiting (a slow service slows its own clients), so this
+  topology measures latency under a controlled concurrency level.
+
+Both are fully seeded: arrival gaps, field choices, and ratio choices
+come from one :class:`numpy.random.Generator`, so the same spec replays
+the identical request sequence — which is what lets ``load-bench``
+digest-compare gateway responses against direct service calls.
+
+The drivers (:func:`drive_open_loop` / :func:`drive_closed_loop`) run
+inside an event loop against a started :class:`~repro.load.gateway.Gateway`
+and return a :class:`Measurement`: per-request latencies (in submit
+order), the error bounds for the determinism gate, and rejection
+counts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.load.gateway import Gateway, Overloaded
+
+#: Default menu of target ratios a synthetic requester picks from.
+DEFAULT_RATIOS = (2.0, 4.0, 8.0, 12.0, 16.0, 24.0, 32.0)
+
+
+@dataclass(frozen=True)
+class WorkloadRequest:
+    """One scripted request: fire ``gap_s`` after the previous event,
+    asking for ``target_ratio`` on field ``field`` of the pool."""
+
+    gap_s: float
+    field: int
+    target_ratio: float
+
+
+@dataclass(frozen=True, kw_only=True)
+class OpenLoopPoisson:
+    """Open-loop topology: Poisson arrivals at ``rate`` requests/second.
+
+    ``schedule()`` materializes the seeded arrival script; the offered
+    rate is exact in expectation (exponential inter-arrival gaps with
+    mean ``1/rate``).
+    """
+
+    rate: float
+    n_requests: int
+    n_fields: int
+    ratios: tuple[float, ...] = DEFAULT_RATIOS
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ValueError("rate must be > 0")
+        if self.n_requests < 1 or self.n_fields < 1:
+            raise ValueError("n_requests and n_fields must be >= 1")
+
+    @property
+    def name(self) -> str:
+        return f"open-poisson@{self.rate:g}rps"
+
+    def schedule(self) -> list[WorkloadRequest]:
+        rng = np.random.default_rng(self.seed)
+        gaps = rng.exponential(1.0 / self.rate, size=self.n_requests)
+        fields = rng.integers(self.n_fields, size=self.n_requests)
+        ratios = rng.choice(np.asarray(self.ratios, dtype=np.float64),
+                            size=self.n_requests)
+        return [
+            WorkloadRequest(gap_s=float(g), field=int(f), target_ratio=float(r))
+            for g, f, r in zip(gaps, fields, ratios)
+        ]
+
+
+@dataclass(frozen=True, kw_only=True)
+class ClosedLoopClients:
+    """Closed-loop topology: ``n_clients`` sequential request loops.
+
+    ``schedule()`` returns one script per client; a client's ``gap_s``
+    is its think time *after* the previous response (exponential with
+    mean ``think_ms``; 0 disables thinking for a tight loop).
+    """
+
+    n_clients: int
+    requests_per_client: int
+    n_fields: int
+    think_ms: float = 0.0
+    ratios: tuple[float, ...] = DEFAULT_RATIOS
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_clients < 1 or self.requests_per_client < 1 or self.n_fields < 1:
+            raise ValueError(
+                "n_clients, requests_per_client and n_fields must be >= 1"
+            )
+        if self.think_ms < 0:
+            raise ValueError("think_ms must be >= 0")
+
+    @property
+    def name(self) -> str:
+        return f"closed-{self.n_clients}clients"
+
+    def schedule(self) -> list[list[WorkloadRequest]]:
+        rng = np.random.default_rng(self.seed)
+        scripts = []
+        for _ in range(self.n_clients):
+            n = self.requests_per_client
+            gaps = (
+                rng.exponential(self.think_ms / 1000.0, size=n)
+                if self.think_ms > 0
+                else np.zeros(n)
+            )
+            fields = rng.integers(self.n_fields, size=n)
+            ratios = rng.choice(np.asarray(self.ratios, dtype=np.float64), size=n)
+            scripts.append([
+                WorkloadRequest(gap_s=float(g), field=int(f), target_ratio=float(r))
+                for g, f, r in zip(gaps, fields, ratios)
+            ])
+        return scripts
+
+
+@dataclass
+class Measurement:
+    """What one driven workload observed, in deterministic request order.
+
+    ``latencies_s``/``error_bounds`` cover *completed* requests only;
+    ``outcomes`` has one entry per scripted request (``"ok"`` /
+    ``"rejected"``) so the determinism gate can line responses up with
+    the direct-call reference even when some requests were shed.
+    """
+
+    outcomes: list[str] = field(default_factory=list)
+    latencies_s: list[float] = field(default_factory=list)
+    error_bounds: list[float | None] = field(default_factory=list)
+    wall_s: float = 0.0
+
+    @property
+    def completed(self) -> int:
+        return sum(1 for o in self.outcomes if o == "ok")
+
+    @property
+    def rejected(self) -> int:
+        return sum(1 for o in self.outcomes if o == "rejected")
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.completed / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def rejection_rate(self) -> float:
+        total = len(self.outcomes)
+        return self.rejected / total if total else 0.0
+
+    def percentile_ms(self, q: float) -> float:
+        if not self.latencies_s:
+            return 0.0
+        return float(np.percentile(np.asarray(self.latencies_s), q) * 1e3)
+
+
+async def drive_open_loop(
+    gateway: Gateway, datas: list, schedule: list[WorkloadRequest]
+) -> Measurement:
+    """Fire the script's arrivals at their scheduled times, never waiting
+    for responses (open loop); collect results in script order."""
+    loop = asyncio.get_running_loop()
+    t0 = loop.time()
+    arrivals = np.cumsum([req.gap_s for req in schedule])
+
+    async def one(req: WorkloadRequest, at: float):
+        delay = (t0 + at) - loop.time()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        start = loop.time()
+        try:
+            pred = await gateway.submit(datas[req.field], req.target_ratio)
+        except Overloaded:
+            return ("rejected", 0.0, None)
+        return ("ok", loop.time() - start, float(pred.error_bound))
+
+    outcomes = await asyncio.gather(
+        *(one(req, at) for req, at in zip(schedule, arrivals))
+    )
+    measurement = Measurement(wall_s=loop.time() - t0)
+    for status, latency, eb in outcomes:
+        measurement.outcomes.append(status)
+        if status == "ok":
+            measurement.latencies_s.append(latency)
+        measurement.error_bounds.append(eb)
+    return measurement
+
+
+async def drive_closed_loop(
+    gateway: Gateway, datas: list, scripts: list[list[WorkloadRequest]]
+) -> Measurement:
+    """Run one sequential submit→await→think loop per client; collect
+    results client-major in script order."""
+    loop = asyncio.get_running_loop()
+    t0 = loop.time()
+
+    async def client(script: list[WorkloadRequest]):
+        out = []
+        for req in script:
+            if req.gap_s > 0:
+                await asyncio.sleep(req.gap_s)
+            start = loop.time()
+            try:
+                pred = await gateway.submit(datas[req.field], req.target_ratio)
+            except Overloaded:
+                out.append(("rejected", 0.0, None))
+                continue
+            out.append(("ok", loop.time() - start, float(pred.error_bound)))
+        return out
+
+    per_client = await asyncio.gather(*(client(s) for s in scripts))
+    measurement = Measurement(wall_s=loop.time() - t0)
+    for results in per_client:
+        for status, latency, eb in results:
+            measurement.outcomes.append(status)
+            if status == "ok":
+                measurement.latencies_s.append(latency)
+            measurement.error_bounds.append(eb)
+    return measurement

@@ -37,6 +37,7 @@ from repro.obs.metrics import (
     observe,
     registry,
     set_gauge,
+    set_gauge_max,
 )
 from repro.obs.summary import StageStats, aggregate, format_summary
 from repro.obs.trace import (
@@ -73,6 +74,7 @@ __all__ = [
     "count",
     "observe",
     "set_gauge",
+    "set_gauge_max",
     "StageStats",
     "aggregate",
     "format_summary",

@@ -50,6 +50,15 @@ class Gauge:
         with self._lock:
             self._value = float(value)
 
+    def set_max(self, value: float) -> None:
+        """Keep the larger of the current and given value — a high-water
+        mark (e.g. the deepest a queue ever got), where last-write-wins
+        would erase the interesting extreme."""
+        value = float(value)
+        with self._lock:
+            if value > self._value:
+                self._value = value
+
     @property
     def value(self) -> float:
         return self._value
@@ -181,3 +190,10 @@ def set_gauge(name: str, value: float) -> None:
     """Set a gauge — no-op while observability is disabled."""
     if _trace.enabled():
         _REGISTRY.gauge(name).set(value)
+
+
+def set_gauge_max(name: str, value: float) -> None:
+    """Raise a gauge to ``value`` if it is below it (high-water mark) —
+    no-op while observability is disabled."""
+    if _trace.enabled():
+        _REGISTRY.gauge(name).set_max(value)

@@ -23,11 +23,17 @@ The blessed import surface is :mod:`repro.api` (``Service``,
 from repro.serve.cache import CacheStats, LRUCache, default_cost, digest_array
 from repro.serve.pool import PoolStats, WorkerPool
 from repro.serve.registry import ModelRegistry
-from repro.serve.service import PredictionService, ServiceOptions, VerifiedPrediction
+from repro.serve.service import (
+    PredictionService,
+    ServiceOptions,
+    ServiceStats,
+    VerifiedPrediction,
+)
 
 __all__ = [
     "PredictionService",
     "ServiceOptions",
+    "ServiceStats",
     "VerifiedPrediction",
     "LRUCache",
     "CacheStats",

@@ -68,9 +68,14 @@ def default_cost(value) -> float:
         return 1.0
 
 
-@dataclass
+@dataclass(frozen=True)
 class CacheStats:
-    """Cumulative hit/miss/eviction counts for one cache."""
+    """Immutable hit/miss/eviction snapshot for one cache.
+
+    :attr:`LRUCache.stats` builds a fresh snapshot per access, so two
+    reads bracket an interval and each is safe to hold, hash, or compare
+    — the typed counterpart of the dict this layer used to hand out
+    (:meth:`as_dict` keeps that shape for serialization)."""
 
     hits: int = 0
     misses: int = 0
@@ -121,12 +126,22 @@ class LRUCache:
         self.max_entries = None if max_entries is None else int(max_entries)
         self.max_cost = None if max_cost is None else float(max_cost)
         self.name = name
-        self.stats = CacheStats()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
         self.total_cost = 0.0
         self._cost = cost if cost is not None else default_cost
         self._lock = threading.Lock()
         # key -> (value, cost); cost is 0.0 when no cost bound is set
         self._entries: OrderedDict = OrderedDict()
+
+    @property
+    def stats(self) -> CacheStats:
+        """A point-in-time :class:`CacheStats` snapshot (always on)."""
+        with self._lock:
+            return CacheStats(
+                hits=self._hits, misses=self._misses, evictions=self._evictions
+            )
 
     @property
     def disabled(self) -> bool:
@@ -151,11 +166,11 @@ class LRUCache:
         with self._lock:
             entry = self._entries.get(key, _MISSING)
             if entry is _MISSING:
-                self.stats.misses += 1
+                self._misses += 1
                 count(f"{self.name}.misses")
                 return default
             self._entries.move_to_end(key)
-            self.stats.hits += 1
+            self._hits += 1
             count(f"{self.name}.hits")
             return entry[0]
 
@@ -183,7 +198,7 @@ class LRUCache:
             ):
                 _, (_, evicted_cost) = self._entries.popitem(last=False)
                 self.total_cost -= evicted_cost
-                self.stats.evictions += 1
+                self._evictions += 1
                 count(f"{self.name}.evictions")
             set_gauge(f"{self.name}.size", len(self._entries))
             if self.max_cost is not None:

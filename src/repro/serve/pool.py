@@ -32,9 +32,13 @@ from dataclasses import dataclass
 from repro.obs import count, set_gauge
 
 
-@dataclass
+@dataclass(frozen=True)
 class PoolStats:
-    """Cumulative task accounting for one :class:`WorkerPool`."""
+    """Immutable task-accounting snapshot for one :class:`WorkerPool`.
+
+    :attr:`WorkerPool.stats` builds a fresh snapshot per access —
+    the typed counterpart of the dict this layer used to hand out
+    (:meth:`as_dict` keeps that shape for serialization)."""
 
     submitted: int = 0
     completed: int = 0
@@ -69,9 +73,22 @@ class WorkerPool:
         self.max_pending = int(max_pending)
         self.timeout = timeout
         self.name = name
-        self.stats = PoolStats()
+        self._submitted = 0
+        self._completed = 0
+        self._fallbacks = 0
+        self._timeouts = 0
         self._lock = threading.Lock()
         self._executor: ProcessPoolExecutor | None = None
+
+    @property
+    def stats(self) -> PoolStats:
+        """A point-in-time :class:`PoolStats` snapshot (always on)."""
+        return PoolStats(
+            submitted=self._submitted,
+            completed=self._completed,
+            fallbacks=self._fallbacks,
+            timeouts=self._timeouts,
+        )
 
     # -- executor lifecycle ----------------------------------------------------
 
@@ -104,10 +121,10 @@ class WorkerPool:
 
     def _run_inline(self, fn, args, *, fallback: bool) -> object:
         if fallback:
-            self.stats.fallbacks += 1
+            self._fallbacks += 1
             count(f"{self.name}.fallbacks")
         result = fn(*args)
-        self.stats.completed += 1
+        self._completed += 1
         return result
 
     def run_many(self, fn, tasks: list[tuple]) -> list:
@@ -137,7 +154,7 @@ class WorkerPool:
         """
         tasks = [tuple(args) for args in tasks]
         task_timeout = self.timeout if timeout is None else timeout
-        self.stats.submitted += len(tasks)
+        self._submitted += len(tasks)
         if self.n_workers == 0 or len(tasks) <= 1:
             return [self._run_inline(fn, args, fallback=False) for args in tasks]
 
@@ -156,9 +173,9 @@ class WorkerPool:
             for i, future in futures:
                 try:
                     results[i] = future.result(timeout=task_timeout)
-                    self.stats.completed += 1
+                    self._completed += 1
                 except FutureTimeout:
-                    self.stats.timeouts += 1
+                    self._timeouts += 1
                     count(f"{self.name}.timeouts")
                     future.cancel()
                     results[i] = self._run_inline(fn, tasks[i], fallback=True)

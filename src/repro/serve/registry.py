@@ -4,8 +4,19 @@ A serving deployment references models by name, not by path: the
 operator registers ``name -> model.npz`` once, the first request for a
 name pays the load, and subsequent requests reuse the cached framework.
 Overwriting the ``.npz`` (a retrain landing) is picked up automatically:
-:meth:`ModelRegistry.get` re-stats the file and reloads when its mtime
-changes, so a running service hot-swaps models without restarting.
+:meth:`ModelRegistry.get` re-checks the file's :func:`_file_signature`
+and reloads when it changes, so a running service hot-swaps models
+without restarting.
+
+The signature is ``(mtime_ns, size, blake2b of head + tail bytes)``
+rather than the mtime alone: on filesystems with coarse timestamp
+granularity (or under same-second replace-then-replace sequences) a
+new file can land with the old mtime, and an mtime-only check would
+serve the stale model forever. Size and content hash close that hole;
+hashing the head and tail (rather than the whole file) keeps the
+per-request cost bounded for large models — for ``.npz`` archives the
+tail covers the zip central directory and member CRCs, which change
+whenever any member's bytes change.
 
 Already-fitted in-memory frameworks can be registered too (:meth:`add`)
 — convenient for tests and for embedding the service in the same process
@@ -14,6 +25,8 @@ that trained the model.
 
 from __future__ import annotations
 
+import hashlib
+import os
 import threading
 from dataclasses import dataclass
 from pathlib import Path
@@ -21,11 +34,31 @@ from pathlib import Path
 from repro.obs import count
 from repro.utils.serialization import load_framework
 
+#: Bytes hashed from each end of the file for the change signature.
+_SIG_BYTES = 65536
+
+
+def _file_signature(path: Path) -> tuple[int, int, str]:
+    """Cheap change-detection signature: ``(mtime_ns, size, digest)``.
+
+    The digest is blake2b over the first and last ``_SIG_BYTES`` of the
+    file (the whole file when it is small enough for the two windows to
+    overlap).
+    """
+    st = path.stat()
+    h = hashlib.blake2b(digest_size=8)
+    with open(path, "rb") as fh:
+        h.update(fh.read(_SIG_BYTES))
+        if st.st_size > 2 * _SIG_BYTES:
+            fh.seek(-_SIG_BYTES, os.SEEK_END)
+            h.update(fh.read(_SIG_BYTES))
+    return (st.st_mtime_ns, st.st_size, h.hexdigest())
+
 
 @dataclass
 class _Entry:
     path: Path | None
-    mtime: float | None = None
+    signature: tuple[int, int, str] | None = None
     framework: object | None = None
 
 
@@ -72,13 +105,13 @@ class ModelRegistry:
                 ) from None
             if entry.path is None:
                 return entry.framework
-            mtime = entry.path.stat().st_mtime
-            if entry.framework is None or mtime != entry.mtime:
+            signature = _file_signature(entry.path)
+            if entry.framework is None or signature != entry.signature:
                 if entry.framework is not None:
                     count("serve.registry.reloads")
                 count("serve.registry.loads")
                 entry.framework = load_framework(entry.path)
-                entry.mtime = mtime
+                entry.signature = signature
             return entry.framework
 
     def reload(self, name: str):
@@ -88,5 +121,5 @@ class ModelRegistry:
             if entry.path is not None:
                 count("serve.registry.loads")
                 entry.framework = load_framework(entry.path)
-                entry.mtime = entry.path.stat().st_mtime
+                entry.signature = _file_signature(entry.path)
             return entry.framework

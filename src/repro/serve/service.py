@@ -36,8 +36,8 @@ from repro.core.fxrz import FxrzFramework
 from repro.features.parallel import extract_features_parallel
 from repro.features.serial import extract_features_serial
 from repro.obs import count, observe, timed_span
-from repro.serve.cache import LRUCache, digest_array
-from repro.serve.pool import WorkerPool
+from repro.serve.cache import CacheStats, LRUCache, digest_array
+from repro.serve.pool import PoolStats, WorkerPool
 from repro.serve.registry import ModelRegistry
 from repro.utils.validation import as_float_array
 
@@ -69,6 +69,31 @@ class ServiceOptions:
     def build(self, framework) -> "PredictionService":
         """Construct a :class:`PredictionService` over a fitted framework."""
         return PredictionService(framework, options=self)
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """Typed, immutable serving counters (always on, unlike obs metrics).
+
+    Replaces the string-keyed dict :meth:`PredictionService.stats` used
+    to return: consumers read ``stats.cache.hit_rate`` instead of
+    ``stats["cache"]["hit_rate"]``, and a snapshot taken before a run
+    can be compared against one taken after. :meth:`as_dict` preserves
+    the historical dict shape for serialization and logging.
+    """
+
+    requests: int
+    batches: int
+    cache: CacheStats
+    pool: PoolStats
+
+    def as_dict(self) -> dict:
+        return {
+            "requests": self.requests,
+            "batches": self.batches,
+            "cache": self.cache.as_dict(),
+            "pool": self.pool.as_dict(),
+        }
 
 
 @dataclass
@@ -279,14 +304,15 @@ class PredictionService:
 
     # -- lifecycle / introspection ---------------------------------------------
 
-    def stats(self) -> dict:
-        """Cumulative serving counters (always on, unlike obs metrics)."""
-        return {
-            "requests": self.n_requests,
-            "batches": self.n_batches,
-            "cache": self.cache.stats.as_dict(),
-            "pool": self.pool.stats.as_dict(),
-        }
+    def stats(self) -> ServiceStats:
+        """A :class:`ServiceStats` snapshot of the cumulative serving
+        counters (``stats().as_dict()`` recovers the pre-typed dict)."""
+        return ServiceStats(
+            requests=self.n_requests,
+            batches=self.n_batches,
+            cache=self.cache.stats,
+            pool=self.pool.stats,
+        )
 
     def close(self) -> None:
         self.pool.shutdown()

@@ -44,7 +44,7 @@ for every worker count — ``wave_size=1`` is the classic serial loop
 bit-for-bit.
 """
 
-from repro.store.catalog import CatalogOptions, StoreCatalog
+from repro.store.catalog import CatalogOptions, CatalogStats, StoreCatalog
 from repro.store.chunking import Chunk, ChunkGrid, default_chunk_shape
 from repro.store.format import CorruptChunkError, StoreFormatError
 from repro.store.reader import StoreReader
@@ -70,6 +70,7 @@ __all__ = [
     "StoreOptions",
     "StoreCatalog",
     "CatalogOptions",
+    "CatalogStats",
     "StoreReader",
     "StoreWriter",
     "PackReport",

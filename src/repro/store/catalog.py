@@ -37,12 +37,41 @@ from pathlib import Path
 import numpy as np
 
 from repro.obs import count
-from repro.serve.cache import LRUCache
-from repro.serve.pool import WorkerPool
+from repro.serve.cache import CacheStats, LRUCache
+from repro.serve.pool import PoolStats, WorkerPool
 from repro.store.reader import StoreReader
 
 #: Default shared chunk-cache budget: 256 MiB of decompressed chunks.
 DEFAULT_CACHE_BYTES = 256 << 20
+
+
+@dataclass(frozen=True)
+class CatalogStats:
+    """Typed, immutable catalog accounting: fleet size, shared-cache
+    traffic and cost, decode-pool task counts (``None`` without workers).
+
+    The typed counterpart of the dict :meth:`StoreCatalog.stats` used to
+    return; :meth:`as_dict` preserves that shape for serialization.
+    """
+
+    stores_registered: int
+    stores_open: int
+    cache: CacheStats
+    cache_cost_bytes: float
+    cache_budget_bytes: float
+    pool: PoolStats | None = None
+
+    def as_dict(self) -> dict:
+        out = {
+            "stores_registered": self.stores_registered,
+            "stores_open": self.stores_open,
+            "cache": self.cache.as_dict(),
+            "cache_cost_bytes": self.cache_cost_bytes,
+            "cache_budget_bytes": self.cache_budget_bytes,
+        }
+        if self.pool is not None:
+            out["pool"] = self.pool.as_dict()
+        return out
 
 
 @dataclass(frozen=True, kw_only=True)
@@ -241,22 +270,21 @@ class StoreCatalog:
 
     # -- accounting --------------------------------------------------------------
 
-    def stats(self) -> dict:
-        """Catalog-level accounting: fleet size, cache hit rate and cost,
-        pool task counts."""
+    def stats(self) -> CatalogStats:
+        """A :class:`CatalogStats` snapshot: fleet size, cache hit rate
+        and cost, pool task counts (``stats().as_dict()`` recovers the
+        pre-typed dict)."""
         with self._lock:
             registered = len(self._paths)
             opened = len(self._readers)
-        out = {
-            "stores_registered": registered,
-            "stores_open": opened,
-            "cache": self.chunk_cache.stats.as_dict(),
-            "cache_cost_bytes": self.chunk_cache.total_cost,
-            "cache_budget_bytes": float(self.options.cache_bytes),
-        }
-        if self.pool is not None:
-            out["pool"] = self.pool.stats.as_dict()
-        return out
+        return CatalogStats(
+            stores_registered=registered,
+            stores_open=opened,
+            cache=self.chunk_cache.stats,
+            cache_cost_bytes=self.chunk_cache.total_cost,
+            cache_budget_bytes=float(self.options.cache_bytes),
+            pool=None if self.pool is None else self.pool.stats,
+        )
 
     # -- lifecycle ---------------------------------------------------------------
 

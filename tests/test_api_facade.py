@@ -12,6 +12,8 @@ from repro.api import (
     CatalogOptions,
     FrameworkOptions,
     Fxrz,
+    Gateway,
+    GatewayOptions,
     ModelRegistry,
     Service,
     ServiceOptions,
@@ -72,19 +74,33 @@ class TestFacadeImports:
         assert repro.Catalog is Catalog is StoreCatalog
         assert repro.CatalogOptions is CatalogOptions is deep_opts
 
+    def test_gateway_reexports(self):
+        import repro
+        from repro.load import Gateway as deep_gw
+        from repro.load import GatewayOptions as deep_opts
+
+        assert repro.Gateway is Gateway is deep_gw
+        assert repro.GatewayOptions is GatewayOptions is deep_opts
+
     def test_all_lists_every_entry_point_once(self):
+        import importlib
+
         import repro
         import repro.api
         import repro.serve
         import repro.store
 
-        for mod in (repro, repro.api, repro.serve, repro.store):
+        # the facade function ``repro.load`` shadows the subpackage as an
+        # attribute, so fetch the module itself through the import system
+        load_pkg = importlib.import_module("repro.load")
+        for mod in (repro, repro.api, load_pkg, repro.serve, repro.store):
             assert len(mod.__all__) == len(set(mod.__all__)), mod.__name__
             for name in mod.__all__:
                 assert hasattr(mod, name), f"{mod.__name__}.{name}"
         # the documented facade pairs are all on repro.api
         for name in ("Catalog", "CatalogOptions", "Store", "StoreOptions",
-                     "Service", "ServiceOptions", "Carol", "FrameworkOptions"):
+                     "Service", "ServiceOptions", "Carol", "FrameworkOptions",
+                     "Gateway", "GatewayOptions"):
             assert name in repro.api.__all__
 
     def test_options_are_keyword_only(self):
@@ -93,6 +109,7 @@ class TestFacadeImports:
             (ServiceOptions, 8),
             (StoreOptions, (8, 8, 8)),
             (CatalogOptions, 1024),
+            (GatewayOptions, 8),
         ):
             with pytest.raises(TypeError):
                 cls(arg)
@@ -102,6 +119,7 @@ class TestFacadeImports:
             ServiceOptions(workers=2),
             StoreOptions(chunk_shape=(4, 4, 4), safety=0.5),
             CatalogOptions(cache_bytes=123),
+            GatewayOptions(max_batch=4, max_wait_ms=1.5),
         ):
             assert type(opts)(**opts.to_kwargs()) == opts
 

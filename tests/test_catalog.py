@@ -81,9 +81,9 @@ class TestRegistrationAndScan:
     def test_manifests_load_lazily(self, store_root):
         root, _ = store_root
         with StoreCatalog(root) as cat:
-            assert cat.stats()["stores_open"] == 0
+            assert cat.stats().stores_open == 0
             cat.read("climate/temp", (slice(0, 4), slice(0, 4), slice(0, 4)))
-            assert cat.stats()["stores_open"] == 1
+            assert cat.stats().stores_open == 1
 
     def test_unknown_key(self, store_root):
         root, _ = store_root
@@ -316,10 +316,11 @@ class TestStatsAndApi:
         with StoreCatalog(root, options=CatalogOptions(workers=1)) as cat:
             cat.read("nyx_baryon")
             stats = cat.stats()
-        assert stats["stores_registered"] == 3
-        assert stats["stores_open"] == 1
-        assert 0.0 <= stats["cache"]["hit_rate"] <= 1.0
-        assert "pool" in stats
+        assert stats.stores_registered == 3
+        assert stats.stores_open == 1
+        assert 0.0 <= stats.cache.hit_rate <= 1.0
+        assert stats.pool is not None
+        assert "pool" in stats.as_dict()
 
     def test_reused_cache_is_one_shared_instance(self, store_root):
         root, _ = store_root

@@ -16,7 +16,7 @@ class TestParser:
         assert set(sub.choices) >= {
             "datasets", "estimate", "train", "predict", "compress", "bench",
             "serve-bench", "store-pack", "store-info", "store-unpack",
-            "pack-bench", "read-bench", "trace-summary",
+            "pack-bench", "read-bench", "load-bench", "trace-summary",
         }
 
 
@@ -260,6 +260,44 @@ class TestReadBench:
             assert 0.0 <= report["configs"][config]["cache_hit_rate"] <= 1.0
         assert report["configs"]["serial"]["cache_hit_rate"] == 0.0
         assert report["configs"]["cached"]["cache_hit_rate"] > 0.0
+
+
+class TestLoadBench:
+    def test_check_mode_gates_identity_without_writing(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)  # any accidental report write lands here
+        rc = main([
+            "load-bench", "--check", "--train-shape", "8", "12", "12",
+            "-n", "4", "--iters", "3",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "identity gate" in out
+        assert "bitwise-identical" in out
+        assert "DIVERGED" not in out
+        assert "report written" not in out
+        assert not list(tmp_path.glob("BENCH_serve.json"))
+
+    def test_writes_report_with_saturation_scan(self, tmp_path, capsys):
+        import json
+
+        report_path = tmp_path / "BENCH_serve.json"
+        rc = main([
+            "load-bench", "--train-shape", "8", "12", "12", "-n", "4",
+            "--iters", "3", "--shape", "8", "12", "12", "--fields", "2",
+            "--requests", "12", "--reps", "1", "--out", str(report_path),
+        ])
+        assert rc == 0
+        report = json.loads(report_path.read_text())
+        assert report["schema"] == "repro.load-bench/v1"
+        assert report["identical"] is True
+        assert report["capacity_rps"] > 0
+        scenarios = {r["scenario"] for r in report["runs"]}
+        assert any(s.startswith("open-poisson@") for s in scenarios)
+        assert any(s.startswith("closed-") for s in scenarios)
+        for row in report["runs"]:
+            assert row["completed"] + row["rejected"] == row["requests"]
+            assert row["p50_ms"] <= row["p95_ms"] <= row["p99_ms"]
+        assert report["saturation"]["levels"]
 
 
 class TestServeBench:

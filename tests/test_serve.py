@@ -298,6 +298,23 @@ class TestModelRegistry:
         second = reg.get("m")
         assert second is not first
 
+    def test_hot_reload_on_same_mtime_overwrite(self, fitted, train_fields, tmp_path):
+        # An overwrite within mtime granularity (common on coarse-timestamp
+        # filesystems and fast CI) must still be detected: the signature
+        # includes size and a content hash, not just the timestamp.
+        path = save(tmp_path / "m.npz", fitted)
+        mtime_ns = path.stat().st_mtime_ns
+        reg = ModelRegistry()
+        reg.register("m", path)
+        assert reg.get("m").name == "carol"
+
+        other = Fxrz(compressor="szx", rel_error_bounds=REL, n_iter=2, cv=2)
+        other.fit(train_fields[:2])
+        save(path, other)
+        os.utime(path, ns=(mtime_ns, mtime_ns))  # forge the old timestamp
+        assert path.stat().st_mtime_ns == mtime_ns
+        assert reg.get("m").name == "fxrz"
+
     def test_in_memory_add(self, fitted):
         reg = ModelRegistry()
         reg.add("mem", fitted)
@@ -354,9 +371,9 @@ class TestPredictionService:
             svc.predict(data, 8.0)
             svc.predict_batch([(data, 5.0), (data, 6.0)])
             stats = svc.stats()
-        assert stats["cache"]["misses"] == 1
-        assert stats["cache"]["hits"] >= 2
-        assert stats["requests"] == 4
+        assert stats.cache.misses == 1
+        assert stats.cache.hits >= 2
+        assert stats.requests == 4
 
     def test_field_objects_accepted(self, fitted, train_fields):
         with Service(fitted) as svc:
@@ -374,7 +391,7 @@ class TestPredictionService:
             assert len(batch) == 3
             again = svc.predict_targets(data, [4.0, 8.0, 16.0])
             stats = svc.stats()
-        assert stats["cache"]["misses"] == 1
+        assert stats.cache.misses == 1
         assert batch.error_bounds.tolist() == again.error_bounds.tolist()
 
     def test_verify_reports_achieved_ratio(self, fitted, train_fields):
@@ -399,7 +416,7 @@ class TestPredictionService:
             batched = svc.predict_batch(requests)
             stats = svc.stats()
         assert [p.error_bound for p in batched] == sequential
-        assert stats["pool"]["fallbacks"] == 0
+        assert stats.pool.fallbacks == 0
 
     def test_fxrz_service(self, train_fields):
         fw = Fxrz(compressor="szx", rel_error_bounds=REL, n_iter=2, cv=2)
@@ -418,7 +435,7 @@ class TestPredictionService:
         with Service(fitted, options=ServiceOptions(cache_entries=0)) as svc:
             assert svc.predict(data, 7.0).error_bound == direct
             assert svc.predict(data, 7.0).error_bound == direct
-            assert svc.stats()["cache"]["hits"] == 0
+            assert svc.stats().cache.hits == 0
 
 
 class TestServiceOptions:

@@ -240,7 +240,7 @@ class TestServicePredictor:
             out2 = tmp_path / "svc2.rps"
             pack(out2, field, service, TARGET, options=StoreOptions(chunk_shape=CHUNK))
             stats = service.stats()
-            assert stats["cache"]["hits"] > 0
+            assert stats.cache.hits > 0
 
 
 class TestFeedbackWiring:
