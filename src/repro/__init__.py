@@ -25,6 +25,11 @@ Main entry points:
   :class:`GatewayOptions`): asyncio admission control + request
   coalescing over a service, plus seeded workload topologies and the
   ``python -m repro load-bench`` saturation benchmark;
+- :mod:`repro.control` — the tier-escalation control plane
+  (:class:`Controller`, :class:`ControlOptions`): per chunk/request,
+  choose heuristic → model → FRaZ refinement from model confidence,
+  budget drift, and a risk budget (``StoreOptions(control=...)``,
+  ``ServiceOptions(control=...)``, ``python -m repro control-bench``);
 - :mod:`repro.store` — the chunked compressed array store
   (:class:`Store`, :class:`StoreOptions`): single-file ``.rps``
   containers with closed-loop byte budgeting and random-access reads
@@ -47,6 +52,9 @@ from repro.api import (
     Carol,
     Catalog,
     CatalogOptions,
+    Controller,
+    ControlOptions,
+    ControlStats,
     FrameworkOptions,
     Fxrz,
     Gateway,
@@ -92,6 +100,9 @@ __all__ = [
     "Carol",
     "Fxrz",
     "FrameworkOptions",
+    "Controller",
+    "ControlOptions",
+    "ControlStats",
     "Service",
     "ServiceOptions",
     "ModelRegistry",

@@ -32,7 +32,8 @@ paths remain supported (but new code should import from here).
 
 The ``*Options`` dataclasses (:class:`FrameworkOptions`,
 :class:`ServiceOptions`, :class:`GatewayOptions`, :class:`StoreOptions`,
-:class:`CatalogOptions`) are the hashable, frozen, keyword-only
+:class:`CatalogOptions`, :class:`ControlOptions`) are the hashable,
+frozen, keyword-only
 counterparts of each layer's constructor arguments: share one options
 value across services, use it as a cache key, and
 :meth:`~FrameworkOptions.build` the live object from it. Each
@@ -57,6 +58,7 @@ from dataclasses import dataclass, fields as dc_fields
 
 import numpy as np
 
+from repro.control import ControlledPrediction, Controller, ControlOptions, ControlStats
 from repro.core.carol import CarolFramework
 from repro.core.framework import (
     BatchPrediction,
@@ -185,6 +187,10 @@ __all__ = [
     "Carol",
     "Fxrz",
     "FrameworkOptions",
+    "Controller",
+    "ControlOptions",
+    "ControlStats",
+    "ControlledPrediction",
     "Service",
     "ServiceOptions",
     "ServiceStats",

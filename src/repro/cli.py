@@ -35,6 +35,13 @@ Commands mirror the library's workflow:
   ``BENCH_serve.json`` (p50/p95/p99 latency, throughput, rejection
   rate, saturation point) at the repo root (``--check`` is the tiny CI
   variant: identity gate plus a micro sweep, no file);
+- ``control-bench`` — pack the same fields with the :mod:`repro.control`
+  tier plane ON and OFF: gates that a disabled control plane changes no
+  bytes, that controller-ON packs are byte-identical across worker
+  counts, and that packing an out-of-distribution field with control ON
+  rescues the byte budget (≤10% whole-store drift) where OFF does not;
+  writes ``BENCH_control.json`` at the repo root (``--check`` is the
+  tiny CI variant: gates only, no file);
 - ``trace-summary`` — aggregate a ``--trace`` JSON into a per-stage table.
 
 ``train``, ``compress``, ``bench``, and ``serve-bench`` accept ``--trace out.json``:
@@ -323,6 +330,97 @@ def cmd_load_bench(args) -> int:
     return 0
 
 
+def cmd_control_bench(args) -> int:
+    """Paired ON/OFF control-plane benchmark.
+
+    Proves three gates — neutrality (a ``control=None`` pack is
+    byte-identical to a plain ``StoreOptions`` pack), determinism
+    (controller-ON packs are byte-identical across worker counts at a
+    pinned wave size), and rescue (packing an out-of-distribution field
+    with control ON lands within 10% whole-store drift where OFF does
+    not) — and reports the fitted ON/OFF wall-time ratio plus the real
+    compressions each rescue spent. Writes ``BENCH_control.json``; exit
+    1 when any gate fails.
+
+    ``--check`` is the CI mode: a tiny fixture keeps all three gates
+    while dropping the timing cost; nothing is written.
+    """
+    import itertools
+
+    from repro.control.bench import format_report, run_control_bench, write_report
+
+    kwargs = dict(
+        shape=tuple(args.shape),
+        chunk=tuple(args.chunk),
+        ratio=args.ratio,
+        wave_size=args.wave_size,
+        workers=tuple(args.workers),
+        ood_scale=args.ood_scale,
+        t2_std=args.t2_std,
+        t2_pressure=args.t2_pressure,
+        refine_compressions=args.refine_compressions,
+        reps=args.reps,
+        seed=args.seed,
+    )
+    if args.check:
+        # Target 3, not the full-bench 5: sz3 tops out near ratio 18 on
+        # the tiny 512-element chunks, and the un-escalatable first wave
+        # (2 of 8 chunks at OOD ratio ~1.2) must leave the closed-loop
+        # retargets for the remaining chunks reachable below that
+        # ceiling for a rescue to be possible at all.
+        kwargs.update(
+            shape=(16, 16, 16), chunk=(8, 8, 8), ratio=3.0, wave_size=2,
+            workers=(0, 2), reps=1,
+        )
+
+    if args.model:
+        fw = load_framework(args.model)
+    else:
+        from repro.api import FrameworkOptions
+        from repro.data import Field, load_field
+
+        # Train on the chunks of a *sibling* field — same generator and
+        # shape as the bench fixture, different seed. A packed store
+        # predicts per chunk, and chunks of a large field have different
+        # statistics than standalone small fields: a model trained on
+        # the latter is biased on most chunks, and the fitted scenario
+        # would (correctly) escalate everything.
+        shape, chunk = kwargs["shape"], kwargs["chunk"]
+        sibling = load_field("miranda/pressure", shape=shape, seed=args.seed + 1)
+        starts = [range(0, dim, c) for dim, c in zip(shape, chunk)]
+        train = [
+            Field(
+                dataset="miranda",
+                name=f"train-{i}",
+                data=np.ascontiguousarray(
+                    sibling.data[tuple(slice(s, s + c) for s, c in zip(o, chunk))]
+                ),
+            )
+            for i, o in enumerate(itertools.product(*starts))
+        ]
+        opts = FrameworkOptions(
+            compressor=args.compressor,
+            rel_error_bounds=tuple(np.geomspace(args.eb_min, args.eb_max, args.n)),
+            n_iter=args.iters,
+            cv=2,
+        )
+        fw = opts.build(args.framework)
+        fw.fit(train)
+
+    report = run_control_bench(fw, **kwargs)
+    print(format_report(report))
+    if not report["ok"]:
+        bad = [name for name, passed in report["gates"].items() if not passed]
+        print(f"FAIL: control-bench gates failed: {', '.join(bad)}")
+        if not args.check:
+            print("report not written (gates failed)")
+        return 1
+    if not args.check:
+        out = write_report(report, args.out)
+        print(f"report written to {out}")
+    return 0
+
+
 def _store_source(args):
     """Resolve a store-pack source: an on-disk raw file (memmapped) or a
     synthetic ``dataset/field`` path."""
@@ -347,6 +445,16 @@ def cmd_store_pack(args) -> int:
 
     fw = load_framework(args.model)
     source = _store_source(args)
+    control = None
+    if args.control:
+        from repro.control import ControlOptions
+
+        control = ControlOptions(
+            t2_std=args.t2_std,
+            t2_pressure=args.t2_pressure,
+            risk_budget=args.risk_budget,
+            refine_compressions=args.refine_compressions,
+        )
     options = StoreOptions(
         chunk_shape=tuple(args.chunk) if args.chunk else None,
         chunk_elements=args.chunk_elements,
@@ -354,6 +462,7 @@ def cmd_store_pack(args) -> int:
         safety=args.safety,
         workers=args.workers,
         wave_size=args.wave_size,
+        control=control,
     )
     report = pack(args.out, source, fw, args.ratio, options=options)
     print(report.summary())
@@ -747,6 +856,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--wave-size", type=int, default=None,
                    help="chunks per closed-loop re-target wave "
                         "(default: 1 without workers, 8 with)")
+    p.add_argument("--control", action="store_true",
+                   help="enable the repro.control tier plane: low-confidence or "
+                        "budget-drifting chunks escalate to warm FRaZ refinement")
+    p.add_argument("--t2-std", type=float, default=0.25,
+                   help="model spread (log-eb std) at which a chunk escalates")
+    p.add_argument("--t2-pressure", type=float, default=0.10,
+                   help="committed budget drift at which chunks escalate")
+    p.add_argument("--risk-budget", type=int, default=16,
+                   help="max escalations per pack (consumed in chunk order)")
+    p.add_argument("--refine-compressions", type=int, default=4,
+                   help="real-compression cap per escalated chunk")
     _add_trace_arg(p)
     p.set_defaults(func=cmd_store_pack)
 
@@ -882,6 +1002,45 @@ def build_parser() -> argparse.ArgumentParser:
                    help="CI mode: tiny sweep, identity gate only, no report written")
     _add_trace_arg(p)
     p.set_defaults(func=cmd_load_bench)
+
+    p = sub.add_parser(
+        "control-bench",
+        help="paired ON/OFF control-plane benchmark; fail on byte divergence "
+             "or when the OOD rescue misses its drift gate",
+    )
+    p.add_argument("--model", default=None, help="saved .npz framework; trains one if omitted")
+    p.add_argument("--framework", choices=("carol", "fxrz"), default="carol")
+    p.add_argument("--compressor", choices=available_compressors(), default="sz3")
+    p.add_argument("--shape", type=int, nargs="+", default=[48, 32, 32],
+                   help="bench field shape")
+    p.add_argument("--chunk", type=int, nargs="+", default=[8, 16, 16],
+                   help="chunk shape")
+    p.add_argument("--ratio", type=float, default=5.0, help="whole-store target ratio")
+    p.add_argument("--wave-size", type=int, default=4, help="chunks per wave (pinned)")
+    p.add_argument("--workers", type=int, nargs="+", default=[0, 2],
+                   help="worker counts the determinism gate packs with")
+    p.add_argument("--ood-scale", type=float, default=1e3,
+                   help="amplitude scale of the out-of-distribution field")
+    p.add_argument("--t2-std", type=float, default=0.5,
+                   help="model spread (log-eb std) at which a chunk escalates")
+    p.add_argument("--t2-pressure", type=float, default=0.2,
+                   help="observed pressure (budget drift or recent per-chunk "
+                        "error) at which chunks escalate")
+    p.add_argument("--refine-compressions", type=int, default=6,
+                   help="real-compression cap per escalated chunk")
+    p.add_argument("--reps", type=int, default=3,
+                   help="timing repetitions for the fitted wall comparison (best-of)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--eb-min", type=float, default=1e-3)
+    p.add_argument("--eb-max", type=float, default=3e-1)
+    p.add_argument("-n", type=int, default=6, help="training error-bound grid size")
+    p.add_argument("--iters", type=int, default=4, help="training search iterations")
+    p.add_argument("--out", default=None,
+                   help="report path (default: BENCH_control.json at the repo root)")
+    p.add_argument("--check", action="store_true",
+                   help="CI mode: tiny fixture, gates only, no report written")
+    _add_trace_arg(p)
+    p.set_defaults(func=cmd_control_bench)
 
     p = sub.add_parser("store-info", help="print a store's manifest summary")
     p.add_argument("store", help=".rps path")

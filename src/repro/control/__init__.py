@@ -1,0 +1,28 @@
+"""Risk- and budget-aware control plane: heuristic → model → FRaZ.
+
+One fitted model answers most requests (T1), but two failure modes call
+for different tiers: a model that has *earned trust* on this data can be
+relaxed to a surrogate-curve heuristic (T0, no features, no forest), and
+a chunk the model is *visibly unsure about* — or a pack drifting off its
+byte budget — escalates to a warm-started FRaZ search against the real
+compressor (T2). :mod:`repro.control.policy` is the pure decision table;
+:class:`Controller` adds the stateful accounting (risk budget, spread
+window, tier counters); :mod:`repro.control.escalate` implements the two
+non-model tiers; :mod:`repro.control.bench` measures the whole plane
+with a paired ON/OFF benchmark.
+"""
+
+from repro.control.controller import ControlledPrediction, Controller
+from repro.control.escalate import heuristic_error_bound, refine_error_bound
+from repro.control.policy import ControlOptions, ControlStats, Tier, decide_tier
+
+__all__ = [
+    "ControlOptions",
+    "ControlStats",
+    "ControlledPrediction",
+    "Controller",
+    "Tier",
+    "decide_tier",
+    "heuristic_error_bound",
+    "refine_error_bound",
+]

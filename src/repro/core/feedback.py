@@ -60,6 +60,17 @@ class FeedbackLoop:
     _pending: list[FeedbackObservation] = field(default_factory=list)
     refreshes: int = 0
 
+    #: Smallest window the error trigger trusts: a single bad observation
+    #: must never cost a retrain, so the rolling-error refresh needs at
+    #: least this many (and at least ``refresh_every // 4``) observations.
+    MIN_ERROR_WINDOW = 2
+
+    def __post_init__(self) -> None:
+        if self.refresh_every < 1:
+            raise ValueError("refresh_every must be >= 1")
+        if self.error_threshold <= 0:
+            raise ValueError("error_threshold must be > 0")
+
     def compress_to_ratio(self, data: np.ndarray, target_ratio: float):
         """Serve one request, recording its outcome as feedback."""
         result, pred = self.framework.compress_to_ratio(data, target_ratio)
@@ -90,14 +101,19 @@ class FeedbackLoop:
     # -- internals -------------------------------------------------------------
 
     def _should_refresh(self) -> bool:
+        if not self._pending:
+            # An empty buffer can never justify a retrain (and must never
+            # reach np.mean, which warns on empty input).
+            return False
         if len(self._pending) >= self.refresh_every:
             return True
         recent = self._pending[-self.refresh_every :]
-        if len(recent) >= max(self.refresh_every // 4, 4):
-            mean_err = float(np.mean([o.relative_error for o in recent]))
-            if mean_err > self.error_threshold:
-                return True
-        return False
+        if len(recent) < max(self.refresh_every // 4, 4, self.MIN_ERROR_WINDOW):
+            # Too few observations for a stable error signal: one outlier
+            # in a one- or two-element window is noise, not drift.
+            return False
+        mean_err = float(np.mean([o.relative_error for o in recent]))
+        return mean_err > self.error_threshold
 
     def pending_training_data(self) -> TrainingData:
         """The buffered observations as a TrainingData batch.
@@ -144,7 +160,12 @@ class FeedbackLoop:
 
     @property
     def rolling_error(self) -> float:
-        """Mean relative ratio error over the most recent window."""
+        """Mean relative ratio error over the most recent window.
+
+        Defined for any history size: an empty window reports 0.0 (no
+        evidence of error — never ``nan``), and a single observation
+        reports its own error.
+        """
         recent = self.observations[-self.refresh_every :]
         if not recent:
             return 0.0

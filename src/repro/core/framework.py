@@ -51,13 +51,20 @@ class SetupReport:
 
 @dataclass
 class Prediction:
-    """One inference call's outcome (feeds Fig. 9)."""
+    """One inference call's outcome (feeds Fig. 9).
+
+    ``std`` is the model's own confidence signal: the across-tree
+    standard deviation of the predicted log error bound (*before* any
+    ``safety`` shift), from the same single ensemble pass that produced
+    the prediction. ``nan`` means the model kind exposes no spread.
+    """
 
     error_bound: float
     target_ratio: float
     features: np.ndarray
     feature_seconds: float
     inference_seconds: float
+    std: float = float("nan")
 
 
 @dataclass
@@ -76,6 +83,11 @@ class BatchPrediction:
     @property
     def error_bounds(self) -> np.ndarray:
         return np.array([p.error_bound for p in self.predictions])
+
+    @property
+    def stds(self) -> np.ndarray:
+        """Per-prediction model spread (``nan`` where the model has none)."""
+        return np.array([p.std for p in self.predictions])
 
     def __iter__(self):
         return iter(self.predictions)
@@ -268,7 +280,9 @@ class RatioControlledFramework:
         with timed_span(
             "inference.predict", framework=self.name, target_ratio=float(target_ratio)
         ) as sp:
-            eb = self.model.predict_error_bound(feats, float(target_ratio), safety=safety)
+            eb, std = self.model.predict_error_bound_with_std(
+                feats, float(target_ratio), safety=safety
+            )
             sp.set(error_bound=eb)
         return Prediction(
             error_bound=eb,
@@ -276,6 +290,7 @@ class RatioControlledFramework:
             features=feats,
             feature_seconds=feat_s,
             inference_seconds=sp.elapsed,
+            std=std,
         )
 
     def predict_error_bound_batch(
@@ -303,10 +318,12 @@ class RatioControlledFramework:
         with timed_span(
             "inference.predict_batch", framework=self.name, n_targets=int(ratios.size)
         ) as sp:
-            ebs = self.model.predict_error_bound_batch(feats, ratios, safety=safety)
+            ebs, stds = self.model.predict_error_bound_batch_with_std(
+                feats, ratios, safety=safety
+            )
         preds = [
-            Prediction(float(eb), float(t), feats, 0.0, 0.0)
-            for eb, t in zip(ebs, ratios)
+            Prediction(float(eb), float(t), feats, 0.0, 0.0, std=float(s))
+            for eb, t, s in zip(ebs, ratios, stds)
         ]
         return BatchPrediction(
             predictions=preds, feature_seconds=feat_s, inference_seconds=sp.elapsed

@@ -65,10 +65,23 @@ class FrazSearch:
         self.max_iterations = int(max_iterations)
         self.rel_eb_bracket = (float(lo), float(hi))
 
-    def compress_to_ratio(self, data: np.ndarray, target_ratio: float) -> FrazResult:
-        """Search the error bound whose ratio matches ``target_ratio``."""
+    def compress_to_ratio(
+        self, data: np.ndarray, target_ratio: float, *, initial_eb: float | None = None
+    ) -> FrazResult:
+        """Search the error bound whose ratio matches ``target_ratio``.
+
+        ``initial_eb`` warm-starts the search: instead of bracketing the
+        whole relative-eb range from both ends (the cold path, unchanged),
+        the guess is compressed first and the bracket grows geometrically
+        *around it* in whichever direction the measured ratio missed. A
+        guess from a surrogate curve or a model prediction is usually
+        within a factor of a few of the answer, so the warm search spends
+        1–3 compressions where the cold bracket spends its full budget.
+        """
         if target_ratio <= 0:
             raise ValueError("target_ratio must be positive")
+        if initial_eb is not None and initial_eb <= 0:
+            raise ValueError("initial_eb must be positive")
         arr = as_float_array(data)
         vrange = float(arr.max() - arr.min()) or 1.0
         lo = np.log(self.rel_eb_bracket[0] * vrange)
@@ -93,23 +106,29 @@ class FrazSearch:
                 converged = True
             return res.ratio
 
-        # Check the bracket ends first: targets outside the achievable
-        # range converge to the nearest end.
-        r_lo = run(lo)
-        if not converged and target_ratio <= r_lo:
-            pass  # lowest eb already at/above target; best is the lo end
+        if initial_eb is not None:
+            self._warm_search(
+                run, float(initial_eb), lo, hi, target_ratio, history,
+                done=lambda: converged,
+            )
         else:
-            r_hi = run(hi) if not converged else None
-            if not converged and r_hi is not None and target_ratio >= r_hi:
-                pass  # target beyond the largest achievable ratio
+            # Check the bracket ends first: targets outside the achievable
+            # range converge to the nearest end.
+            r_lo = run(lo)
+            if not converged and target_ratio <= r_lo:
+                pass  # lowest eb already at/above target; best is the lo end
             else:
-                while not converged and len(history) < self.max_iterations:
-                    mid = 0.5 * (lo + hi)
-                    r_mid = run(mid)
-                    if r_mid < target_ratio:
-                        lo = mid
-                    else:
-                        hi = mid
+                r_hi = run(hi) if not converged else None
+                if not converged and r_hi is not None and target_ratio >= r_hi:
+                    pass  # target beyond the largest achievable ratio
+                else:
+                    while not converged and len(history) < self.max_iterations:
+                        mid = 0.5 * (lo + hi)
+                        r_mid = run(mid)
+                        if r_mid < target_ratio:
+                            lo = mid
+                        else:
+                            hi = mid
 
         assert best is not None
         return FrazResult(
@@ -121,3 +140,61 @@ class FrazSearch:
             converged=converged,
             history=history,
         )
+
+    def _warm_search(
+        self, run, initial_eb: float, lo_abs: float, hi_abs: float,
+        target_ratio: float, history: list, done,
+    ) -> None:
+        """Bracket geometrically around ``initial_eb``, then bisect.
+
+        The guess is measured first; the bracket then grows by a log step
+        that *doubles with each probe* in whichever direction the ratio
+        missed, clamped to the absolute ``rel_eb_bracket`` ends, and the
+        usual bisection finishes inside it. Accelerating the step keeps
+        the compression count logarithmic in how wrong the guess is: a
+        guess off by three orders of magnitude brackets in ~3 probes
+        where a constant step would burn the whole budget walking. Every
+        compression goes through ``run`` (which tracks best/converged);
+        ``done()`` reads the convergence flag.
+        """
+        grow = float(np.log(4.0))
+        log0 = float(np.clip(np.log(initial_eb), lo_abs, hi_abs))
+        r0 = run(log0)
+        if done():
+            return
+        if r0 < target_ratio:
+            # eb too small (ratio under target): expand upward.
+            lo, hi, probe = log0, None, log0
+            while hi is None and len(history) < self.max_iterations:
+                if probe >= hi_abs:
+                    return  # target beyond the achievable range; best is the end
+                probe = min(probe + grow, hi_abs)
+                grow *= 2.0
+                if run(probe) >= target_ratio:
+                    hi = probe
+                else:
+                    lo = probe
+                if done():
+                    return
+        else:
+            # eb too large (ratio over target): expand downward.
+            lo, hi, probe = None, log0, log0
+            while lo is None and len(history) < self.max_iterations:
+                if probe <= lo_abs:
+                    return
+                probe = max(probe - grow, lo_abs)
+                grow *= 2.0
+                if run(probe) < target_ratio:
+                    lo = probe
+                else:
+                    hi = probe
+                if done():
+                    return
+        if lo is None or hi is None:
+            return
+        while not done() and len(history) < self.max_iterations:
+            mid = 0.5 * (lo + hi)
+            if run(mid) < target_ratio:
+                lo = mid
+            else:
+                hi = mid

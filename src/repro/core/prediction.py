@@ -90,16 +90,40 @@ class ErrorBoundModel:
         quality instead. Only the forest model family carries a spread;
         other model kinds ignore ``safety``.
         """
+        return self.predict_error_bound_with_std(features, target_ratio, safety=safety)[0]
+
+    def predict_error_bound_with_std(
+        self, features: np.ndarray, target_ratio: float, safety: float = 0.0
+    ) -> tuple[float, float]:
+        """:meth:`predict_error_bound` plus the model's own spread.
+
+        Returns ``(error_bound, std)`` where ``std`` is the across-tree
+        standard deviation in log-eb space *before* any ``safety`` shift —
+        the confidence signal the control plane escalates on. Both values
+        come from one ensemble pass (:meth:`RandomForestRegressor.predict_with_std`),
+        and the error bound is bitwise-identical to the std-free call.
+        Model kinds without a spread report ``nan`` (no signal), and so
+        does a forest whose configuration makes every tree identical
+        (``has_spread`` False) — its zero spread is degeneracy, not
+        confidence.
+        """
         if self.forest is None:
             raise RuntimeError("model is not fitted")
         if target_ratio <= 0:
             raise ValueError("target_ratio must be positive")
         x = np.concatenate((np.asarray(features, dtype=np.float64).ravel(),
                             [np.log(target_ratio)]))
-        log_eb = float(self.forest.predict(x[None, :])[0])
-        if safety and hasattr(self.forest, "predict_std"):
-            log_eb += float(safety) * float(self.forest.predict_std(x[None, :])[0])
-        return float(np.clip(np.exp(log_eb), *self._eb_range))
+        if hasattr(self.forest, "predict_with_std") and getattr(
+            self.forest, "has_spread", True
+        ):
+            mean, spread = self.forest.predict_with_std(x[None, :])
+            log_eb, std = float(mean[0]), float(spread[0])
+        else:
+            log_eb, std = float(self.forest.predict(x[None, :])[0]), float("nan")
+        if safety and np.isfinite(std):
+            log_eb += float(safety) * std
+        eb = float(np.clip(np.exp(log_eb), *self._eb_range))
+        return eb, std
 
     def predict_error_bound_batch(
         self, features: np.ndarray, target_ratios, safety: float = 0.0
@@ -114,11 +138,26 @@ class ErrorBoundModel:
         and ``target_ratios[i]`` — the guarantee the serving layer's
         ``predict_batch`` relies on.
         """
+        return self.predict_error_bound_batch_with_std(
+            features, target_ratios, safety=safety
+        )[0]
+
+    def predict_error_bound_batch_with_std(
+        self, features: np.ndarray, target_ratios, safety: float = 0.0
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`predict_error_bound_with_std`.
+
+        Returns ``(error_bounds, stds)`` aligned with ``target_ratios``;
+        the stds are the pre-``safety`` across-tree spreads from the same
+        single ensemble pass that produced the error bounds. Model kinds
+        without a spread — including a degenerate forest whose trees are
+        all identical (``has_spread`` False) — report ``nan`` per element.
+        """
         if self.forest is None:
             raise RuntimeError("model is not fitted")
         ratios = np.asarray(target_ratios, dtype=np.float64).ravel()
         if ratios.size == 0:
-            return np.empty(0)
+            return np.empty(0), np.empty(0)
         if np.any(ratios <= 0):
             raise ValueError("target_ratio must be positive")
         F = np.asarray(features, dtype=np.float64)
@@ -129,12 +168,19 @@ class ErrorBoundModel:
                 f"features rows ({F.shape[0]}) must match target_ratios ({ratios.size})"
             )
         X = np.column_stack((F, np.log(ratios)))
-        log_eb = np.asarray(self.forest.predict(X), dtype=np.float64)
-        if safety and hasattr(self.forest, "predict_std"):
-            log_eb = log_eb + float(safety) * np.asarray(
-                self.forest.predict_std(X), dtype=np.float64
-            )
-        return np.clip(np.exp(log_eb), *self._eb_range)
+        if hasattr(self.forest, "predict_with_std") and getattr(
+            self.forest, "has_spread", True
+        ):
+            mean, stds = self.forest.predict_with_std(X)
+            log_eb = np.asarray(mean, dtype=np.float64)
+            stds = np.asarray(stds, dtype=np.float64)
+        else:
+            log_eb = np.asarray(self.forest.predict(X), dtype=np.float64)
+            stds = np.full(ratios.size, np.nan)
+        if safety:
+            shift = np.where(np.isfinite(stds), stds, 0.0)
+            log_eb = log_eb + float(safety) * shift
+        return np.clip(np.exp(log_eb), *self._eb_range), stds
 
     @property
     def checkpoint(self) -> list | None:

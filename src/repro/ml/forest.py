@@ -69,6 +69,20 @@ class RandomForestRegressor:
             self.trees.append(tree)
         return self
 
+    @property
+    def has_spread(self) -> bool:
+        """Whether the across-tree spread is a real uncertainty signal.
+
+        With ``bootstrap=False`` and every feature considered at every
+        split (``max_features`` None/"auto"), all trees solve the
+        identical problem and agree exactly — a zero spread then means
+        *degenerate ensemble*, not *confident ensemble*. Consumers of
+        ``predict_with_std`` treat such a forest as exposing no spread
+        at all (``nan``), the same as non-ensemble model kinds.
+        """
+        subsampled = self.max_features is not None and self.max_features != "auto"
+        return self.bootstrap or subsampled
+
     def predict(self, X: np.ndarray) -> np.ndarray:
         if not self.trees:
             raise RuntimeError("forest is not fitted")
@@ -100,6 +114,28 @@ class RandomForestRegressor:
         # calls, which the serving layer's predict_batch guarantees.
         preds = np.stack([tree.predict(X) for tree in self.trees], axis=-1)
         return preds.std(axis=-1)
+
+    def predict_with_std(self, X: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Mean prediction and across-tree spread from ONE ensemble pass.
+
+        Each tree is evaluated once; the mean accumulates per tree in the
+        same order :meth:`predict` sums, and the spread reduces the same
+        stacked layout :meth:`predict_std` builds — both outputs are
+        bitwise-identical to the separate calls, at half the tree cost.
+        """
+        if not self.trees:
+            raise RuntimeError("forest is not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        single = X.ndim == 1
+        if single:
+            X = X[None, :]
+        preds = np.stack([tree.predict(X) for tree in self.trees], axis=-1)
+        mean = np.zeros(X.shape[0])
+        for k in range(preds.shape[-1]):
+            mean += preds[..., k]
+        mean /= len(self.trees)
+        std = preds.std(axis=-1)
+        return (mean[0], std[0]) if single else (mean, std)
 
     def score(self, X: np.ndarray, y: np.ndarray) -> float:
         """Coefficient of determination R^2 (higher is better)."""

@@ -30,6 +30,8 @@ from dataclasses import dataclass, fields as dc_fields
 import numpy as np
 
 from repro.compressors.registry import get_compressor
+from repro.control.controller import ControlledPrediction
+from repro.control.policy import ControlOptions, ControlStats
 from repro.core.carol import CarolFramework
 from repro.core.framework import BatchPrediction, Prediction
 from repro.core.fxrz import FxrzFramework
@@ -48,13 +50,16 @@ class ServiceOptions:
     :class:`repro.api.FrameworkOptions` for the serving layer).
 
     ``workers=0`` keeps everything in-process; ``cache_entries=0``
-    disables the feature cache.
+    disables the feature cache. ``control`` attaches a
+    :mod:`repro.control` tier policy and enables :meth:`PredictionService.govern`
+    (plain ``predict``/``predict_batch`` are unaffected).
     """
 
     cache_entries: int = 256
     workers: int = 0
     max_pending: int = 32
     timeout_seconds: float = 30.0
+    control: ControlOptions | None = None
 
     @classmethod
     def from_service(cls, service: "PredictionService") -> "ServiceOptions":
@@ -86,14 +91,18 @@ class ServiceStats:
     batches: int
     cache: CacheStats
     pool: PoolStats
+    control: ControlStats | None = None
 
     def as_dict(self) -> dict:
-        return {
+        d = {
             "requests": self.requests,
             "batches": self.batches,
             "cache": self.cache.as_dict(),
             "pool": self.pool.as_dict(),
         }
+        if self.control is not None:
+            d["control"] = self.control.as_dict()
+        return d
 
 
 @dataclass
@@ -153,6 +162,11 @@ class PredictionService:
         )
         self.n_requests = 0
         self.n_batches = 0
+        self.controller = (
+            self.options.control.build(self)
+            if self.options.control is not None
+            else None
+        )
 
     @classmethod
     def from_registry(
@@ -271,10 +285,12 @@ class PredictionService:
             by_digest = self._batch_features(framework, [a for a, _ in pairs], digests)
             F = np.stack([by_digest[d] for d in digests])
             ratios = np.array([r for _, r in pairs], dtype=np.float64)
-            ebs = framework.model.predict_error_bound_batch(F, ratios, safety=safety)
+            ebs, stds = framework.model.predict_error_bound_batch_with_std(
+                F, ratios, safety=safety
+            )
             preds = [
-                Prediction(float(eb), float(r), F[i], 0.0, 0.0)
-                for i, (eb, r) in enumerate(zip(ebs, ratios))
+                Prediction(float(eb), float(r), F[i], 0.0, 0.0, std=float(s))
+                for i, (eb, r, s) in enumerate(zip(ebs, ratios, stds))
             ]
             if not verify:
                 return preds
@@ -302,6 +318,25 @@ class PredictionService:
             arr, ratios, safety=safety, features=feats
         )
 
+    def govern(
+        self, data, target_ratio: float, *, safety: float = 0.0
+    ) -> ControlledPrediction:
+        """One *governed* request: predict, escalate to refinement if the
+        model's spread crosses the policy's ``t2_std``.
+
+        Requires ``ServiceOptions.control``. The decision is stateless
+        across requests (no shared drift or risk state), so governed
+        answers are bitwise-identical however traffic is ordered or
+        batched; escalated requests spend real compressions, bounded by
+        ``refine_compressions`` per request.
+        """
+        if self.controller is None:
+            raise RuntimeError(
+                "service has no control policy; build it with "
+                "ServiceOptions(control=ControlOptions(...))"
+            )
+        return self.controller.govern(data, target_ratio, safety=safety)
+
     # -- lifecycle / introspection ---------------------------------------------
 
     def stats(self) -> ServiceStats:
@@ -312,6 +347,7 @@ class PredictionService:
             batches=self.n_batches,
             cache=self.cache.stats,
             pool=self.pool.stats,
+            control=self.controller.stats() if self.controller else None,
         )
 
     def close(self) -> None:

@@ -40,6 +40,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.compressors.registry import get_compressor
+from repro.control.policy import ControlOptions, ControlStats, Tier
 from repro.core.framework import Prediction
 from repro.obs import count, observe, set_gauge, timed_span
 from repro.serve.service import _extract_task, worker_extract_spec
@@ -70,6 +71,15 @@ class StoreOptions:
     1 without workers (the classic serial loop) and
     :data:`DEFAULT_WAVE_SIZE` with them. The packed bytes depend on
     ``wave_size`` but **not** on ``workers``.
+
+    ``control`` attaches the tier-escalation plane of
+    :mod:`repro.control`: low-confidence chunks (or a drifting budget)
+    escalate to a warm FRaZ search, and a consistently-confident model
+    may relax whole waves to the surrogate heuristic. All control
+    decisions are made at wave boundaries from committed state, and T2
+    refinement runs in-process, so a controlled pack stays byte-identical
+    for every worker count — ``control`` changes the bytes (vs ``None``),
+    ``workers`` never does.
     """
 
     chunk_shape: tuple[int, ...] | None = None
@@ -81,6 +91,7 @@ class StoreOptions:
     workers: int = 0
     wave_size: int | None = None
     timeout_seconds: float = 120.0
+    control: ControlOptions | None = None
 
     def __post_init__(self) -> None:
         if self.chunk_shape is not None:
@@ -98,14 +109,17 @@ class StoreOptions:
     def from_manifest(cls, manifest: dict) -> "StoreOptions":
         """Recover the packing options recorded in a store's manifest.
 
-        Only the fields a manifest persists (grid, loop mode, safety) are
-        recoverable; runtime knobs (``workers``, ``wave_size``, timeouts)
-        come back as defaults — they never change the packed bytes.
+        Only the fields a manifest persists (grid, loop mode, safety,
+        control policy) are recoverable; runtime knobs (``workers``,
+        ``wave_size``, timeouts) come back as defaults — they never
+        change the packed bytes.
         """
+        control = manifest.get("control")
         return cls(
             chunk_shape=tuple(int(c) for c in manifest["chunk_shape"]),
             closed_loop=bool(manifest.get("closed_loop", True)),
             safety=float(manifest.get("safety", 0.0)),
+            control=ControlOptions(**control) if control else None,
         )
 
     def to_kwargs(self) -> dict:
@@ -150,6 +164,7 @@ class PackReport:
     wave_size: int = 1
     workers: int = 0
     pool_stats: dict = dc_field(default_factory=dict)
+    control: ControlStats | None = None
 
     @property
     def n_chunks(self) -> int:
@@ -171,7 +186,7 @@ class PackReport:
         return abs(self.achieved_ratio - self.target_ratio) / self.target_ratio
 
     def summary(self) -> str:
-        return (
+        text = (
             f"{self.path.name}: {self.n_chunks} chunks, "
             f"{self.original_bytes} -> {self.stored_bytes} bytes, "
             f"ratio {self.achieved_ratio:.2f} (target {self.target_ratio:.2f}, "
@@ -179,6 +194,13 @@ class PackReport:
             f"{'closed' if self.closed_loop else 'open'}-loop, "
             f"{self.n_waves} waves x {self.wave_size}, {self.workers} workers)"
         )
+        if self.control is not None:
+            c = self.control
+            text += (
+                f" [control: t0={c.t0} t1={c.t1} t2={c.t2}, "
+                f"{c.compressions_spent} refine compressions]"
+            )
+        return text
 
 
 def _as_source_array(source) -> np.ndarray:
@@ -311,6 +333,20 @@ class StoreWriter:
         target = raw_remaining / remaining_budget
         return min(max(target, opts.min_chunk_ratio), opts.max_chunk_ratio)
 
+    @staticmethod
+    def _pressure(target_ratio: float, spent: int, committed_raw: int) -> float:
+        """Observed budget drift over the *committed* chunks: the relative
+        deviation of their overall achieved ratio from the pack target.
+
+        Computed only from bytes already landed in the file (wave-boundary
+        state), so it is identical for every worker count. 0.0 before the
+        first commit — no evidence of drift yet.
+        """
+        if spent <= 0 or committed_raw <= 0:
+            return 0.0
+        achieved = committed_raw / spent
+        return abs(achieved - target_ratio) / target_ratio
+
     def write(self, source, target_ratio: float, *, feedback=None) -> PackReport:
         """Pack ``source`` to ``target_ratio``; returns a :class:`PackReport`.
 
@@ -326,6 +362,12 @@ class StoreWriter:
         grid = opts.grid_for(arr.shape)
         codec = self._framework._codec
         wave_size = opts.resolved_wave_size
+        controller = None
+        if opts.control is not None:
+            controller = opts.control.build(
+                self._service if self._service is not None else self._framework,
+                feedback=feedback,
+            )
 
         original_bytes = int(arr.nbytes)
         budget = original_bytes / target_ratio
@@ -361,6 +403,15 @@ class StoreWriter:
                         wave_target = self._wave_target(
                             target_ratio, budget, spent, raw_remaining
                         )
+                        pressure = self._pressure(
+                            target_ratio, spent, original_bytes - raw_remaining
+                        )
+                        if controller is not None:
+                            # Aggregate drift can cancel (under- then over-
+                            # shoot); the controller folds in the committed
+                            # cheap-tier chunks' per-chunk ratio error, which
+                            # cannot.
+                            pressure = controller.observed_pressure(pressure)
                         with timed_span(
                             "store.pack.wave",
                             index=wave_index,
@@ -372,25 +423,86 @@ class StoreWriter:
                             arrays = [
                                 np.ascontiguousarray(arr[c.slices]) for c in wave
                             ]
-                            preds = self._predict_wave(arrays, wave_target, pool)
+                            # Control decisions use only wave-boundary state
+                            # (pressure, committed spreads, remaining risk) and
+                            # escalated chunks refine in-process, so the bytes
+                            # below are identical for every worker count.
+                            escalated: dict[int, object] = {}
+                            if (
+                                controller is not None
+                                and controller.wave_tier(pressure) is Tier.HEURISTIC
+                            ):
+                                preds = [
+                                    controller.heuristic_prediction(a, wave_target)
+                                    for a in arrays
+                                ]
+                            else:
+                                preds = self._predict_wave(arrays, wave_target, pool)
+                                if controller is not None:
+                                    for i, (a, p) in enumerate(zip(arrays, preds)):
+                                        controller.record_std(p.std)
+                                        tier = controller.chunk_tier(p.std, pressure)
+                                        if tier is not Tier.REFINE:
+                                            continue
+                                        fraz = controller.refine(
+                                            a,
+                                            wave_target,
+                                            initial_eb=p.error_bound,
+                                            features=p.features,
+                                        )
+                                        escalated[i] = fraz
+                                        preds[i] = Prediction(
+                                            error_bound=float(fraz.error_bound),
+                                            target_ratio=float(wave_target),
+                                            features=p.features,
+                                            feature_seconds=p.feature_seconds,
+                                            inference_seconds=p.inference_seconds,
+                                            std=p.std,
+                                        )
                             tasks = [
                                 (codec.name, a, p.error_bound)
-                                for a, p in zip(arrays, preds)
+                                for i, (a, p) in enumerate(zip(arrays, preds))
+                                if i not in escalated
                             ]
                             if pool is not None and len(tasks) > 1:
-                                results = pool.map_ordered(_compress_task, tasks)
+                                pooled = pool.map_ordered(_compress_task, tasks)
                             else:
-                                results = [_compress_task(*t) for t in tasks]
+                                pooled = [_compress_task(*t) for t in tasks]
+                            # Weave refined payloads back into chunk order
+                            # (escalated chunks were already compressed by
+                            # the warm FRaZ search itself).
+                            pooled_iter = iter(pooled)
+                            results = [
+                                escalated[i].result if i in escalated
+                                else next(pooled_iter)
+                                for i in range(len(arrays))
+                            ]
                         count("store.pack.waves")
                         # Ordered commit: payloads land in chunk-id order no
                         # matter which worker finished first.
-                        for chunk, chunk_arr, pred, result in zip(
-                            wave, arrays, preds, results
+                        for wave_i, (chunk, chunk_arr, pred, result) in enumerate(
+                            zip(wave, arrays, preds, results)
                         ):
                             payload = result.payload
                             chunk_raw = int(chunk_arr.nbytes)
                             fh.write(payload)
-                            if feedback is not None:
+                            if controller is not None:
+                                if wave_i in escalated:
+                                    # The warm search's first probe ran at
+                                    # the model's own eb — the window keeps
+                                    # tracking the model, not FRaZ.
+                                    _, probe_ratio = escalated[wave_i].history[0]
+                                    controller.record_outcome(wave_target, probe_ratio)
+                                else:
+                                    controller.record_outcome(wave_target, result.ratio)
+                            if (
+                                feedback is not None
+                                and pred.features.size
+                                and wave_i not in escalated
+                            ):
+                                # Heuristic chunks have no features to learn
+                                # from; escalated chunks were already logged
+                                # probe-by-probe by controller.refine().
                                 feedback.record(
                                     pred.features,
                                     pred.error_bound,
@@ -441,12 +553,20 @@ class StoreWriter:
                         "stored_bytes": spent,
                         "chunks": entries,
                     }
+                    if opts.control is not None:
+                        manifest["control"] = opts.control.to_kwargs()
                     manifest_bytes = write_manifest(fh, manifest)
         finally:
             pool_stats = {}
             if pool is not None:
                 pool_stats = pool.stats.as_dict()
                 pool.shutdown()
+        control_stats = None
+        if controller is not None:
+            achieved = original_bytes / spent if spent else 0.0
+            control_stats = controller.stats(
+                budget_drift=abs(achieved - target_ratio) / target_ratio
+            )
         report = PackReport(
             path=self.path,
             target_ratio=target_ratio,
@@ -458,6 +578,7 @@ class StoreWriter:
             wave_size=wave_size,
             workers=opts.workers,
             pool_stats=pool_stats,
+            control=control_stats,
         )
         observe("store.pack.budget_drift", report.budget_drift)
         set_gauge("store.pack.achieved_ratio", report.achieved_ratio)

@@ -78,6 +78,29 @@ class TestLoop:
         loop.refresh()
         assert loop.refreshes == 0
 
+    def test_validation(self, fitted):
+        with pytest.raises(ValueError):
+            FeedbackLoop(fitted, refresh_every=0)
+        with pytest.raises(ValueError):
+            FeedbackLoop(fitted, error_threshold=0.0)
+        with pytest.raises(ValueError):
+            FeedbackLoop(fitted, error_threshold=-1.0)
+
+    def test_single_bad_observation_does_not_trigger_refresh(self, fitted):
+        """The error trigger needs a window (MIN_ERROR_WINDOW), not one
+        outlier: a single terrible chunk must not cost a retrain."""
+        loop = FeedbackLoop(fitted, refresh_every=100, error_threshold=0.05)
+        loop.record(np.ones(5), 0.1, achieved_ratio=1.0, target_ratio=10.0)
+        assert loop.refreshes == 0
+        assert len(loop._pending) == 1
+
+    def test_refresh_every_one_refreshes_per_observation(self, fitted):
+        loop = FeedbackLoop(fitted, refresh_every=1, error_threshold=10.0)
+        field = load_field("miranda/pressure", shape=SHAPE, seed=3)
+        loop.compress_to_ratio(field.data, 5.0)
+        assert loop.refreshes == 1
+        assert len(loop._pending) == 0
+
     def test_model_still_serves_after_refresh(self, fitted):
         loop = FeedbackLoop(fitted, refresh_every=2, error_threshold=10.0)
         field = load_field("miranda/pressure", shape=SHAPE, seed=3)

@@ -89,6 +89,34 @@ class TestFrazSearch:
             FrazSearch("szx", rel_eb_bracket=(0.5, 0.1))
         with pytest.raises(ValueError):
             FrazSearch("szx").compress_to_ratio(np.ones(10), -1.0)
+        with pytest.raises(ValueError):
+            FrazSearch("szx").compress_to_ratio(np.ones(10), 8.0, initial_eb=0.0)
+        with pytest.raises(ValueError):
+            FrazSearch("szx").compress_to_ratio(np.ones(10), 8.0, initial_eb=-1e-3)
+
+    def test_warm_start_beats_cold(self, field):
+        """The control plane's T2 economics: seeding the search with a
+        good guess must cost strictly fewer compressions than the cold
+        bracket (this is what makes per-chunk escalation affordable)."""
+        fraz = FrazSearch("szx", tolerance=0.05, max_iterations=14)
+        cold = fraz.compress_to_ratio(field.data, 8.0)
+        warm = fraz.compress_to_ratio(
+            field.data, 8.0, initial_eb=cold.error_bound
+        )
+        assert warm.converged
+        assert warm.n_compressions < cold.n_compressions
+
+    def test_warm_start_far_guess_still_converges(self, field):
+        """The accelerating bracket: a guess off by orders of magnitude
+        doubles its log step each probe instead of crawling."""
+        fraz = FrazSearch("szx", tolerance=0.1, max_iterations=12)
+        anchor = fraz.compress_to_ratio(field.data, 8.0)
+        for factor in (1e3, 1e-3):
+            out = fraz.compress_to_ratio(
+                field.data, 8.0, initial_eb=anchor.error_bound * factor
+            )
+            assert out.converged, factor
+            assert abs(out.achieved_ratio - 8.0) / 8.0 <= 0.1
 
 
 class TestZfpFixedRate:
