@@ -22,6 +22,8 @@ The recommended entry point for applications::
 
     with Catalog("stores/") as cat:            # a fleet of .rps stores
         sub = cat.read("climate/temp", (slice(0, 8), ...))
+        for tsel, tile in cat.read_iter("climate/temp", max_inflight=4):
+            consume(tsel, tile)                # streamed, bounded memory
 
 Everything here is a thin, renamed view over the library internals —
 :class:`Carol` *is* :class:`repro.core.carol.CarolFramework`,
@@ -86,9 +88,11 @@ from repro.store import (
     CatalogOptions,
     CatalogStats,
     PackReport,
+    PrefetchStats,
     Store,
     StoreCatalog,
     StoreOptions,
+    StreamStats,
 )
 from repro.utils.serialization import load_framework, save_framework
 
@@ -206,6 +210,8 @@ __all__ = [
     "Catalog",
     "CatalogOptions",
     "CatalogStats",
+    "PrefetchStats",
+    "StreamStats",
     "PackReport",
     "load",
     "save",

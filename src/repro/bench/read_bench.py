@@ -11,10 +11,16 @@ bytes*. This module makes that contract a measured, committed artifact:
   (the reference), then replayed under each benchmarked configuration —
   cached, and parallel-with-cache under thread concurrency — and every
   response is digest-compared to the reference answer;
-- the report (bytes-served/s and cache hit rate per configuration) is
-  written to ``BENCH_read.json`` at the repo root, commit-stamped, so
-  the read path's perf trajectory is tracked in version control
-  alongside the code.
+- a **streaming scenario** scans every store front to back through
+  ``Catalog.read_iter`` on a cold cache with the prefetcher on,
+  recording time-to-first-tile and the stream's peak resident bytes;
+  the assembled tiles must digest-match a materialized ``read()`` of
+  the same store, and the peak must stay within 2x the configured
+  ``max_inflight`` tile budget — the bounded-memory contract as a gate;
+- the report (bytes-served/s and cache hit rate per configuration, plus
+  the streaming columns) is written to ``BENCH_read.json`` at the repo
+  root, commit-stamped, so the read path's perf trajectory is tracked
+  in version control alongside the code.
 
 Any byte divergence between configurations is a benchmark *failure*
 (nonzero exit from the CLI), not a footnote. ``--check`` mode (used in
@@ -115,6 +121,67 @@ def _serve(catalog: StoreCatalog, requests, concurrency: int):
     return results, time.perf_counter() - t0
 
 
+def run_streaming_scan(
+    root, keys: list[str], *, cache_bytes: int, workers: int, max_inflight: int
+) -> dict:
+    """Full-store streamed scan of every key on a cold shared cache.
+
+    Each store is streamed front to back as a sequence of chunk-row
+    slabs, each slab tile by tile (``tile=None``: one piece per chunk,
+    flat chunk-id order) into a preallocated buffer, then read again
+    materialized; the two must digest-match. The slab sequence is
+    exactly the sequential run the prefetcher detects, so the committed
+    report also exercises (and records) prefetch outcomes. Records
+    time-to-first-tile per store and the worst stream's peak resident
+    bytes against its ``max_inflight`` budget.
+    """
+    options = CatalogOptions(
+        cache_bytes=cache_bytes, workers=workers, prefetch_depth=max(2, max_inflight)
+    )
+    peak = budget = 0
+    first_tile = []
+    identical = True
+    bytes_served = 0
+    t0 = time.perf_counter()
+    with StoreCatalog(root, options=options) as catalog:
+        for key in keys:
+            reader = catalog.reader(key)
+            out = np.empty(reader.shape, dtype=reader.dtype)
+            row = reader.grid.chunk_shape[0]
+            rest = tuple(slice(None) for _ in reader.shape[1:])
+            t_start = time.perf_counter()
+            first = None
+            for lo in range(0, reader.shape[0], row):
+                region = (slice(lo, min(lo + row, reader.shape[0])), *rest)
+                stream = catalog.read_iter(key, region, max_inflight=max_inflight)
+                for tile_sel, tile in stream:
+                    if first is None:
+                        first = time.perf_counter() - t_start
+                    out[tile_sel] = tile
+                stats = stream.stats
+                peak = max(peak, stats.peak_inflight_bytes)
+                budget = max(budget, stats.budget_bytes)
+            first_tile.append(first if first is not None else 0.0)
+            bytes_served += out.nbytes
+            identical &= digest_array(out) == digest_array(catalog.read(key))
+        seconds = time.perf_counter() - t0
+        prefetch = catalog.prefetch_stats()
+    return {
+        "cache_bytes": int(cache_bytes),
+        "workers": int(workers),
+        "max_inflight": int(max_inflight),
+        "seconds": seconds,
+        "bytes_served": int(bytes_served),
+        "bytes_per_s": bytes_served / seconds if seconds > 0 else 0.0,
+        "time_to_first_tile_s": max(first_tile) if first_tile else 0.0,
+        "peak_resident_bytes": int(peak),
+        "budget_bytes": int(budget),
+        "bounded": bool(peak <= 2 * budget),
+        "prefetch": prefetch.as_dict(),
+        "identical": bool(identical),
+    }
+
+
 def run_read_bench(
     framework,
     *,
@@ -127,13 +194,17 @@ def run_read_bench(
     workers: int = 2,
     cache_bytes: int = 64 << 20,
     concurrency: int = 4,
+    max_inflight: int = 4,
     seed: int = 0,
 ) -> dict:
-    """Benchmark catalog reads: serial reference vs cached vs parallel+cache.
+    """Benchmark catalog reads: serial reference vs cached vs parallel+cache,
+    plus a full-store streaming scan (:func:`run_streaming_scan`).
 
     Returns the ``BENCH_read.json`` report dict; ``report["identical"]``
     is the aggregate byte-identity verdict (every configuration's every
-    response digest-equal to the serial, cache-less reference).
+    response digest-equal to the serial, cache-less reference, and every
+    streamed scan digest-equal to its materialized read) and
+    ``report["streaming"]["bounded"]`` the peak-resident-bytes verdict.
     """
     shape, chunk, read_shape = tuple(shape), tuple(chunk), tuple(read_shape)
     configs = {
@@ -177,6 +248,12 @@ def run_read_bench(
                 "identical": digests == reference,
             }
 
+        with span("read_bench.streaming", max_inflight=max_inflight):
+            streaming = run_streaming_scan(
+                tmp, keys, cache_bytes=cache_bytes, workers=workers,
+                max_inflight=max_inflight,
+            )
+
     return {
         "schema": SCHEMA,
         "commit": repo_commit(),
@@ -190,7 +267,9 @@ def run_read_bench(
         "read_shape": list(read_shape),
         "seed": int(seed),
         "configs": results,
-        "identical": all(c["identical"] for c in results.values()),
+        "streaming": streaming,
+        "identical": all(c["identical"] for c in results.values())
+        and streaming["identical"],
     }
 
 
@@ -210,6 +289,18 @@ def format_report(report: dict) -> str:
             f"{c['cache_bytes'] / 1e6:>9.1f} {c['bytes_per_s'] / 1e6:>9.2f} "
             f"{c['cache_hit_rate']:>9.2%} "
             f"{'yes' if c['identical'] else 'DIVERGED':>10}"
+        )
+    s = report.get("streaming")
+    if s:
+        lines.append(
+            f"{'streaming':<16} workers={s['workers']} "
+            f"max_inflight={s['max_inflight']} "
+            f"first-tile={s['time_to_first_tile_s'] * 1e3:.2f}ms "
+            f"peak={s['peak_resident_bytes'] / 1e6:.2f}MB "
+            f"budget={s['budget_bytes'] / 1e6:.2f}MB "
+            f"({'bounded' if s['bounded'] else 'OVER BUDGET'}) "
+            f"prefetch-hits={s['prefetch']['hits']} "
+            f"{'yes' if s['identical'] else 'DIVERGED'}"
         )
     return "\n".join(lines)
 

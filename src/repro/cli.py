@@ -603,10 +603,15 @@ def cmd_read_bench(args) -> int:
     Packs a fixture of ``.rps`` stores, replays one seeded
     random-subvolume request stream through serial, cached, and
     parallel-with-cache catalog configurations, and digest-compares every
-    response to the serial reference. Exit 1 on any byte divergence.
+    response to the serial reference; then streams a full-store scan of
+    every fixture store through ``read_iter`` (cold cache, prefetch on)
+    and digest-compares the assembled tiles to a materialized ``read()``.
+    Exit 1 on any byte divergence, or if a stream's peak resident bytes
+    exceed twice its ``max_inflight`` tile budget.
 
     ``--check`` is the CI mode: a tiny fixture keeps the byte-identity
-    gate while dropping the timing cost; nothing is written.
+    and bounded-memory gates while dropping the timing cost; nothing is
+    written.
     """
     from repro.bench.read_bench import format_report, run_read_bench, write_report
 
@@ -635,6 +640,7 @@ def cmd_read_bench(args) -> int:
         workers=args.workers,
         cache_bytes=args.cache_bytes,
         concurrency=args.concurrency,
+        max_inflight=args.max_inflight,
         seed=args.seed,
     )
     if args.check:
@@ -644,11 +650,23 @@ def cmd_read_bench(args) -> int:
         )
     report = run_read_bench(fw, **kwargs)
     print(format_report(report))
+    ok = True
     if not report["identical"]:
         bad = [n for n, c in report["configs"].items() if not c["identical"]]
-        print(f"FAIL: byte divergence from serial reference in: {', '.join(bad)}")
+        if not report["streaming"]["identical"]:
+            bad.append("streaming")
+        print(f"FAIL: byte divergence from reference in: {', '.join(bad)}")
+        ok = False
+    if not report["streaming"]["bounded"]:
+        s = report["streaming"]
+        print(
+            f"FAIL: streaming peak resident bytes {s['peak_resident_bytes']} "
+            f"exceed 2x budget {s['budget_bytes']}"
+        )
+        ok = False
+    if not ok:
         if not args.check:
-            print("report not written (identity gate failed)")
+            print("report not written (gates failed)")
         return 1
     if not args.check:
         out = write_report(report, args.out)
@@ -956,6 +974,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="shared chunk-cache budget in the cached configurations")
     p.add_argument("--concurrency", type=int, default=4,
                    help="concurrent reader threads in the cached configurations")
+    p.add_argument("--max-inflight", type=int, default=4,
+                   help="look-ahead tile bound in the streaming scenario")
     p.add_argument("--seed", type=int, default=0, help="fixture + request stream seed")
     p.add_argument("--out", default=None,
                    help="report path (default: BENCH_read.json at the repo root)")

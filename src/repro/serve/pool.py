@@ -54,6 +54,59 @@ class PoolStats:
         }
 
 
+class PoolTask:
+    """Handle for one task submitted via :meth:`WorkerPool.submit`.
+
+    :meth:`result` applies the pool's failure semantics at collection
+    time — per-task timeout and in-process fallback on worker death —
+    so a caller pipelining many submitted tasks (the store's streaming
+    reader) gets exactly the degraded-not-failed behavior of
+    :meth:`WorkerPool.map_ordered`, one task at a time. Exceptions
+    raised *by the task itself* propagate unchanged, as everywhere else
+    in the pool. The submitter is responsible for bounding how many
+    tasks it holds in flight (``submit`` does not window like
+    ``map_ordered`` — backpressure lives with the caller, who knows the
+    real cost of each pending result).
+    """
+
+    __slots__ = ("_pool", "_fn", "_args", "_future", "_fallback")
+
+    def __init__(self, pool: "WorkerPool", fn, args, future, *, fallback: bool = False) -> None:
+        self._pool = pool
+        self._fn = fn
+        self._args = args
+        self._future = future
+        self._fallback = fallback
+
+    def result(self, timeout: float | None = None):
+        """The task's result, waiting if needed (``timeout`` overrides
+        the pool's per-task default). Timeouts and worker death degrade
+        to an in-process run, counted like :meth:`WorkerPool.map_ordered`
+        fallbacks."""
+        pool = self._pool
+        if self._future is None:
+            return pool._run_inline(self._fn, self._args, fallback=self._fallback)
+        task_timeout = pool.timeout if timeout is None else timeout
+        try:
+            result = self._future.result(timeout=task_timeout)
+            pool._completed += 1
+            return result
+        except FutureTimeout:
+            pool._timeouts += 1
+            count(f"{pool.name}.timeouts")
+            self._future.cancel()
+            return pool._run_inline(self._fn, self._args, fallback=True)
+        except BrokenProcessPool:
+            pool._recycle_executor()
+            return pool._run_inline(self._fn, self._args, fallback=True)
+
+    def cancel(self) -> None:
+        """Best-effort cancellation of a task whose result is no longer
+        wanted (a closed stream); a task already running just runs."""
+        if self._future is not None:
+            self._future.cancel()
+
+
 class WorkerPool:
     """Bounded, timeout-aware process pool with in-process fallback."""
 
@@ -188,3 +241,23 @@ class WorkerPool:
     def run(self, fn, *args) -> object:
         """Run one task (same semantics as :meth:`map_ordered`)."""
         return self.map_ordered(fn, [tuple(args)])[0]
+
+    def submit(self, fn, *args) -> PoolTask:
+        """Start one task without waiting; returns a :class:`PoolTask`.
+
+        The asynchronous leg of the pool API: ``map_ordered`` blocks
+        until a whole batch is done, ``submit`` lets a producer overlap
+        later tasks with consumption of earlier results (the streaming
+        read pipeline). With ``n_workers=0`` the task is deferred and
+        runs in-process at :meth:`PoolTask.result` time, so callers keep
+        one code path. The caller bounds its own in-flight set.
+        """
+        self._submitted += 1
+        if self.n_workers == 0:
+            return PoolTask(self, fn, args, None)
+        try:
+            future = self._ensure_executor().submit(fn, *args)
+        except BrokenProcessPool:
+            self._recycle_executor()
+            return PoolTask(self, fn, args, None, fallback=True)
+        return PoolTask(self, fn, args, future)

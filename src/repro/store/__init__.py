@@ -47,7 +47,8 @@ bit-for-bit.
 from repro.store.catalog import CatalogOptions, CatalogStats, StoreCatalog
 from repro.store.chunking import Chunk, ChunkGrid, default_chunk_shape
 from repro.store.format import CorruptChunkError, StoreFormatError
-from repro.store.reader import StoreReader
+from repro.store.prefetch import Prefetcher, PrefetchStats
+from repro.store.reader import StoreReader, StreamStats, TileStream
 from repro.store.writer import (
     ChunkWriteRecord,
     PackReport,
@@ -73,6 +74,10 @@ __all__ = [
     "CatalogStats",
     "StoreReader",
     "StoreWriter",
+    "TileStream",
+    "StreamStats",
+    "Prefetcher",
+    "PrefetchStats",
     "PackReport",
     "ChunkWriteRecord",
     "Chunk",

@@ -19,7 +19,15 @@ resources across every reader it opens:
 
 Both are *injected into* the staged reader — the catalog holds no read
 logic of its own, so catalog reads are byte-identical to plain
-``StoreReader`` reads for every worker count and cache size.
+``StoreReader`` reads for every worker count and cache size. That holds
+for streaming too: :meth:`StoreCatalog.read_iter` is the reader's
+bounded-memory :class:`~repro.store.reader.TileStream` with the shared
+resources injected. On top of the request stream the catalog can layer a
+:class:`~repro.store.prefetch.Prefetcher`
+(``CatalogOptions(prefetch_depth=...)``): sequential and strided scans
+are detected per key and predicted next chunks are decoded into the
+shared LRU after each request, so the next request (streamed or not)
+hits cache instead of disk.
 
 Manifests load lazily: registration and scanning only record paths;
 a store's file is opened (and its manifest parsed) the first time that
@@ -39,7 +47,8 @@ import numpy as np
 from repro.obs import count
 from repro.serve.cache import CacheStats, LRUCache
 from repro.serve.pool import PoolStats, WorkerPool
-from repro.store.reader import StoreReader
+from repro.store.prefetch import Prefetcher, PrefetchStats
+from repro.store.reader import StoreReader, TileStream
 
 #: Default shared chunk-cache budget: 256 MiB of decompressed chunks.
 DEFAULT_CACHE_BYTES = 256 << 20
@@ -60,6 +69,7 @@ class CatalogStats:
     cache_cost_bytes: float
     cache_budget_bytes: float
     pool: PoolStats | None = None
+    prefetch: PrefetchStats | None = None
 
     def as_dict(self) -> dict:
         out = {
@@ -71,6 +81,8 @@ class CatalogStats:
         }
         if self.pool is not None:
             out["pool"] = self.pool.as_dict()
+        if self.prefetch is not None:
+            out["prefetch"] = self.prefetch.as_dict()
         return out
 
 
@@ -83,6 +95,11 @@ class CatalogOptions:
     caching; every read decodes). ``workers`` fans chunk decode out over
     a process pool (0 keeps decode in-process). ``verify=False`` skips
     checksum verification on payload fetch for trusted local media.
+    ``prefetch_depth`` enables catalog-driven read-ahead: after a key's
+    request stream shows ``prefetch_min_run`` consecutive requests at
+    one stride (sequential scans included), up to ``prefetch_depth``
+    predicted chunks are decoded into the shared cache ahead of the next
+    request (0, the default, turns the prefetcher off entirely).
     """
 
     cache_bytes: int = DEFAULT_CACHE_BYTES
@@ -90,6 +107,8 @@ class CatalogOptions:
     max_pending: int = 32
     timeout_seconds: float = 30.0
     verify: bool = True
+    prefetch_depth: int = 0
+    prefetch_min_run: int = 2
 
     def __post_init__(self) -> None:
         if self.cache_bytes < 0:
@@ -98,6 +117,10 @@ class CatalogOptions:
             raise ValueError("workers must be >= 0")
         if self.max_pending < 1:
             raise ValueError("max_pending must be >= 1")
+        if self.prefetch_depth < 0:
+            raise ValueError("prefetch_depth must be >= 0")
+        if self.prefetch_min_run < 2:
+            raise ValueError("prefetch_min_run must be >= 2")
 
     @classmethod
     def from_catalog(cls, catalog: "StoreCatalog") -> "CatalogOptions":
@@ -138,6 +161,18 @@ class StoreCatalog:
             name="store.chunk_cache",
             max_cost=float(self.options.cache_bytes),
         )
+        # Read-ahead: advisory, decoupled from serving (see repro.store.prefetch).
+        self.prefetcher: Prefetcher | None = None
+        self._prefetch_lock = threading.Lock()
+        self._prefetch_pending: set = set()  # issued cache keys not yet consumed
+        self._prefetch_issued = 0
+        self._prefetch_hits = 0
+        self._prefetch_wasted = 0
+        if self.options.prefetch_depth > 0:
+            self.prefetcher = Prefetcher(
+                depth=self.options.prefetch_depth,
+                min_run=self.options.prefetch_min_run,
+            )
         # Scan before spawning workers: a bad root raises here, and at
         # this point there is no pool to leak.
         self.pool: WorkerPool | None = None
@@ -177,6 +212,8 @@ class StoreCatalog:
             self._paths[key] = Path(path)
         if repointed:
             self.chunk_cache.evict_scope(old_scope)
+            if self.prefetcher is not None:
+                self.prefetcher.forget(key)
         count("catalog.registered")
 
     def _scope(self, key: str) -> str:
@@ -258,8 +295,35 @@ class StoreCatalog:
 
     def read(self, key: str, region=None) -> np.ndarray:
         """Read a subvolume (or the whole field, ``region=None``) from the
-        store registered under ``key``."""
-        return self.reader(key).read(region)
+        store registered under ``key``. With a prefetcher configured, the
+        request is recorded *after* it is served and any predicted
+        next-request chunks are decoded into the shared cache."""
+        key = str(key)
+        reader = self.reader(key)
+        if self.prefetcher is not None:
+            self._settle_pending(reader, region)
+        out = reader.read(region)
+        if self.prefetcher is not None:
+            self._after_request(key, reader, region)
+        return out
+
+    def read_iter(
+        self, key: str, region=None, *, tile=None, max_inflight: int = 2
+    ) -> TileStream:
+        """Stream a subvolume as bounded-memory ``(tile_region, array)``
+        pieces — :meth:`StoreReader.read_iter` with the catalog's shared
+        cache and decode pool injected, plus prefetch observation: the
+        request joins the key's stream when the stream *completes*, so
+        read-ahead for the next request never competes with this one's
+        decodes."""
+        key = str(key)
+        reader = self.reader(key)
+        if self.prefetcher is not None:
+            self._settle_pending(reader, region)
+        stream = reader.read_iter(region, tile=tile, max_inflight=max_inflight)
+        if self.prefetcher is not None:
+            stream.on_complete(lambda: self._after_request(key, reader, region))
+        return stream
 
     def read_chunk(self, key: str, coords: tuple[int, ...]) -> np.ndarray:
         """Decompress (or serve from cache) one chunk of one store."""
@@ -267,6 +331,78 @@ class StoreCatalog:
 
     def info(self, key: str) -> dict:
         return self.reader(key).info()
+
+    # -- prefetch ----------------------------------------------------------------
+
+    def _settle_pending(self, reader: StoreReader, region) -> None:
+        """Account prefetch outcomes *before* a request is served, while
+        cache residency still reflects what the request will see: an
+        issued chunk this request covers is a **hit** if still resident
+        (the read about to happen consumes it from cache) and **wasted**
+        if the LRU already dropped it; issued chunks outside the request
+        stay pending unless evicted."""
+        request = {
+            reader._cache_key(chunk.coords)
+            for chunk in reader.grid.chunks_intersecting(region)
+        }
+        with self._prefetch_lock:
+            for cache_key in list(self._prefetch_pending):
+                resident = cache_key in self.chunk_cache
+                if cache_key in request and resident:
+                    self._prefetch_pending.discard(cache_key)
+                    self._prefetch_hits += 1
+                    count("store.read.prefetch_hits")
+                elif not resident:
+                    self._prefetch_pending.discard(cache_key)
+                    self._prefetch_wasted += 1
+                    count("store.read.prefetch_wasted")
+
+    def _after_request(self, key: str, reader: StoreReader, region) -> None:
+        """Record a served request with the prefetcher and issue the
+        hints it unlocks. Hint *prediction* is a pure function of the
+        key's request history; hint *issuance* skips chunks the cache
+        already holds (see :mod:`repro.store.prefetch`)."""
+        chunks = reader.grid.chunks_intersecting(region)
+        hints = self.prefetcher.predict(
+            key, [c.index for c in chunks], reader.n_chunks
+        )
+        for chunk_id in hints:
+            self._issue_hint(reader, chunk_id)
+
+    def _issue_hint(self, reader: StoreReader, chunk_id: int) -> None:
+        """Decode one predicted chunk into the shared cache. Best-effort:
+        an unhelpful hint (cache disabled, chunk already resident, chunk
+        too big to admit, or a fetch/decode failure) is simply skipped —
+        prefetch must never fail or slow a request stream, and a corrupt
+        chunk stays the *read* path's error to raise."""
+        from repro.store.reader import decode_chunk
+
+        chunk = reader.grid.chunk(int(chunk_id))
+        cache_key = reader._cache_key(chunk.coords)
+        if self.chunk_cache.disabled or cache_key in self.chunk_cache:
+            return
+        try:
+            entry = reader.chunk_entry(chunk.coords)
+            payload = reader.fetch_payload(entry)
+            data = decode_chunk(reader.compressor, entry, payload, reader.verify)
+        except Exception:
+            return
+        if not reader._cache_put(chunk.coords, data):
+            return
+        with self._prefetch_lock:
+            self._prefetch_pending.add(cache_key)
+            self._prefetch_issued += 1
+        count("store.read.prefetch_issued")
+
+    def prefetch_stats(self) -> PrefetchStats:
+        """A :class:`PrefetchStats` snapshot (all zeros when the
+        prefetcher is off)."""
+        with self._prefetch_lock:
+            return PrefetchStats(
+                issued=self._prefetch_issued,
+                hits=self._prefetch_hits,
+                wasted=self._prefetch_wasted,
+            )
 
     # -- accounting --------------------------------------------------------------
 
@@ -284,6 +420,7 @@ class StoreCatalog:
             cache_cost_bytes=self.chunk_cache.total_cost,
             cache_budget_bytes=float(self.options.cache_bytes),
             pool=None if self.pool is None else self.pool.stats,
+            prefetch=None if self.prefetcher is None else self.prefetch_stats(),
         )
 
     # -- lifecycle ---------------------------------------------------------------

@@ -170,6 +170,44 @@ class ChunkGrid:
             out.append(slice(start, stop))
         return tuple(out)
 
+    def tiles_for_region(self, region, tile_shape=None) -> list[tuple[slice, ...]]:
+        """Split a subvolume into tiles (field-coordinate slice tuples).
+
+        The planning step of a streaming read: ``tile_shape=None`` makes
+        each tile one chunk's intersection with the region, enumerated in
+        flat chunk-id order — the storage order, so a full-region stream
+        walks the file forward. An explicit ``tile_shape`` grids the
+        region itself into boxes of that shape anchored at the region's
+        start (edge tiles clipped), enumerated in C order. Either way the
+        tile list is a pure function of ``(region, tile_shape)`` — the
+        ordering-determinism half of the streaming contract — and tiles
+        the region exactly once. An empty region has no tiles.
+        """
+        sel = self.normalize_region(region)
+        if any(s.stop <= s.start for s in sel):
+            return []
+        if tile_shape is None:
+            return [
+                tuple(
+                    slice(max(r.start, c.start), min(r.stop, c.stop))
+                    for r, c in zip(sel, chunk.slices)
+                )
+                for chunk in self.chunks_intersecting(sel)
+            ]
+        tile = tuple(int(t) for t in tile_shape)
+        if len(tile) != len(self.shape):
+            raise ValueError(f"tile_shape {tile} does not match field rank {len(self.shape)}")
+        if any(t < 1 for t in tile):
+            raise ValueError(f"tile_shape must be positive, got {tile}")
+        starts = [range(s.start, s.stop, t) for s, t in zip(sel, tile)]
+        return [
+            tuple(
+                slice(start, min(start + t, s.stop))
+                for start, t, s in zip(origin, tile, sel)
+            )
+            for origin in product(*starts)
+        ]
+
     def chunks_intersecting(self, region) -> list[Chunk]:
         """Chunks overlapping a subvolume, in flat-id order.
 

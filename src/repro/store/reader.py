@@ -23,19 +23,28 @@ and because decode is deterministic and assembly order is fixed
 (flat chunk-id order), the bytes a read returns are identical for every
 worker count and cache size. A read decompresses *only* the chunks
 intersecting the request (counted in ``store.read.chunks_decompressed``;
-cache hits count in ``store.read.chunks_cached``).
+cache hits count in ``store.read.chunks_cached`` — both counted in
+exactly one place, :meth:`StoreReader._count_decoded` and
+:meth:`StoreReader._cache_get`, whichever path served the chunk).
+
+:meth:`StoreReader.read` materializes the whole region;
+:meth:`StoreReader.read_iter` streams it as bounded-memory tiles
+(:class:`TileStream`) instead — same stages, same bytes, with fetch and
+decode of later tiles overlapping consumption of earlier ones.
 """
 
 from __future__ import annotations
 
 import threading
+from collections import deque
+from dataclasses import dataclass
 from pathlib import Path
 
 import numpy as np
 
 from repro.compressors.base import CompressionResult
 from repro.compressors.registry import get_compressor
-from repro.obs import count, timed_span
+from repro.obs import count, set_gauge_max, timed_span
 from repro.store.chunking import ChunkGrid
 from repro.store.format import CorruptChunkError, StoreFormatError, chunk_checksum, read_manifest
 
@@ -201,7 +210,20 @@ class StoreReader:
     def _cache_key(self, coords: tuple[int, ...]):
         return (self.cache_scope, coords)
 
-    def _cache_put(self, coords: tuple[int, ...], data: np.ndarray) -> None:
+    def _cache_get(self, coords: tuple[int, ...]) -> np.ndarray | None:
+        """Stage-0 cache lookup. The *single* place a cache hit is
+        counted (``store.read.chunks_cached``), so every read path —
+        ``read_chunk``, ``read``'s gather, the streaming pipeline —
+        accounts hits identically whether the cache is reader-private or
+        catalog-shared."""
+        if self.chunk_cache is None:
+            return None
+        cached = self.chunk_cache.get(self._cache_key(coords))
+        if cached is not None:
+            count("store.read.chunks_cached")
+        return cached
+
+    def _cache_put(self, coords: tuple[int, ...], data: np.ndarray) -> bool:
         # Hits hand back the shared object, so freeze anything the cache
         # stores — before the put, so no other thread can see it
         # writeable. A chunk the cache would decline (cache disabled, or
@@ -210,16 +232,22 @@ class StoreReader:
         # bytes), and an uncached chunk must come back exactly as the
         # plain reader would return it. admits() cannot go stale —
         # the cache's bounds are fixed at construction.
-        if self.chunk_cache.admits(data):
-            data.setflags(write=False)
-            self.chunk_cache.put(self._cache_key(coords), data)
+        if self.chunk_cache is None or not self.chunk_cache.admits(data):
+            return False
+        data.setflags(write=False)
+        return self.chunk_cache.put(self._cache_key(coords), data)
+
+    def _count_decoded(self, entry: dict) -> None:
+        """The single place a decode is counted, mirroring
+        :meth:`_cache_get` for the miss path."""
+        count("store.read.chunks_decompressed")
+        count("store.read.bytes_decompressed", int(entry["nbytes"]))
 
     def _decode_one(self, entry: dict) -> np.ndarray:
         """Stages 1+2 for one chunk, with metrics."""
         payload = self.fetch_payload(entry)
         out = decode_chunk(self.compressor, entry, payload, self.verify)
-        count("store.read.chunks_decompressed")
-        count("store.read.bytes_decompressed", int(entry["nbytes"]))
+        self._count_decoded(entry)
         return out
 
     def read_chunk(self, coords: tuple[int, ...]) -> np.ndarray:
@@ -234,14 +262,11 @@ class StoreReader:
         """
         key = tuple(int(c) for c in coords)
         entry = self.chunk_entry(key)
-        if self.chunk_cache is not None:
-            cached = self.chunk_cache.get(self._cache_key(key))
-            if cached is not None:
-                count("store.read.chunks_cached")
-                return cached
+        cached = self._cache_get(key)
+        if cached is not None:
+            return cached
         out = self._decode_one(entry)
-        if self.chunk_cache is not None:
-            self._cache_put(key, out)
+        self._cache_put(key, out)
         return out
 
     def _chunk_arrays(self, chunks) -> list[np.ndarray]:
@@ -255,12 +280,10 @@ class StoreReader:
         arrays: list[np.ndarray | None] = [None] * len(chunks)
         missing: list[int] = []
         for i, chunk in enumerate(chunks):
-            if self.chunk_cache is not None:
-                cached = self.chunk_cache.get(self._cache_key(chunk.coords))
-                if cached is not None:
-                    count("store.read.chunks_cached")
-                    arrays[i] = cached
-                    continue
+            cached = self._cache_get(chunk.coords)
+            if cached is not None:
+                arrays[i] = cached
+                continue
             missing.append(i)
         if not missing:
             return arrays
@@ -275,13 +298,11 @@ class StoreReader:
                 ],
             )
             for entry in entries:
-                count("store.read.chunks_decompressed")
-                count("store.read.bytes_decompressed", int(entry["nbytes"]))
+                self._count_decoded(entry)
         else:
             decoded = [self._decode_one(entry) for entry in entries]
         for i, data in zip(missing, decoded):
-            if self.chunk_cache is not None:
-                self._cache_put(chunks[i].coords, data)
+            self._cache_put(chunks[i].coords, data)
             arrays[i] = data
         return arrays
 
@@ -309,6 +330,41 @@ class StoreReader:
     def __getitem__(self, region) -> np.ndarray:
         return self.read(region)
 
+    # -- streaming reads ---------------------------------------------------------
+
+    def read_iter(
+        self, region=None, *, tile=None, max_inflight: int = 2
+    ) -> "TileStream":
+        """Stream a region as ``(tile_region, ndarray)`` pieces instead of
+        materializing it.
+
+        Tiles arrive in deterministic order — ``tile=None`` yields one
+        piece per intersecting chunk in flat chunk-id order (the storage
+        order); an explicit ``tile`` shape grids the region into boxes
+        enumerated in C order — and concatenating the pieces reproduces
+        :meth:`read` byte-for-byte for every worker count, cache size,
+        tile shape, and ``max_inflight``, because decode is a pure
+        function and the tile plan is fixed up front.
+
+        ``max_inflight`` is the backpressure bound: at most that many
+        tiles are fetched/decoding ahead of the one the caller holds, so
+        in-flight decoded bytes are hard-bounded by the tile working set
+        (:attr:`StreamStats.budget_bytes`) no matter how large the
+        region — the pipeline never queues unboundedly. With a decode
+        ``pool`` attached, those look-ahead tiles decode concurrently
+        while the caller consumes earlier ones; without one they decode
+        lazily at yield time (same bytes, no overlap).
+
+        A corrupt chunk raises
+        :class:`~repro.store.format.CorruptChunkError` naming the chunk
+        — but only when *its* tile is reached, after every earlier tile
+        has been yielded intact; the reader stays usable afterward.
+        """
+        sel = self.grid.normalize_region(region)
+        tiles = self.grid.tiles_for_region(sel, tile)
+        plan = [(t, self.grid.chunks_intersecting(t)) for t in tiles]
+        return TileStream(self, sel, plan, max_inflight)
+
     def verify_all(self) -> int:
         """Checksum every chunk payload (even with ``verify=False``);
         returns the count verified."""
@@ -332,3 +388,238 @@ class StoreReader:
             f"StoreReader({self.path.name}, shape={self.shape}, "
             f"chunks={self.grid.grid_shape}, compressor={self.compressor})"
         )
+
+
+@dataclass(frozen=True)
+class StreamStats:
+    """Immutable snapshot of one streaming read's memory accounting.
+
+    ``budget_bytes`` is the pipeline's hard in-flight bound:
+    ``max_inflight`` tiles' worth of the most expensive tile in the plan
+    (its decoded chunks plus its assembled output). ``peak_inflight_bytes``
+    is what the stream actually held at its worst — always at most
+    ``budget_bytes`` plus one tile being assembled, and typically far
+    below the materialized region.
+    """
+
+    tiles_total: int
+    tiles_yielded: int
+    max_inflight: int
+    max_tile_cost_bytes: int
+    peak_inflight_bytes: int
+
+    @property
+    def budget_bytes(self) -> int:
+        return self.max_inflight * self.max_tile_cost_bytes
+
+    def as_dict(self) -> dict:
+        return {
+            "tiles_total": self.tiles_total,
+            "tiles_yielded": self.tiles_yielded,
+            "max_inflight": self.max_inflight,
+            "max_tile_cost_bytes": self.max_tile_cost_bytes,
+            "peak_inflight_bytes": self.peak_inflight_bytes,
+            "budget_bytes": self.budget_bytes,
+        }
+
+
+class _TileSource:
+    """One chunk feeding one pending tile: a cache hit (``array``), a
+    pool decode in flight (``task``), or a fetched payload awaiting lazy
+    in-process decode (``payload``)."""
+
+    __slots__ = ("kind", "chunk", "entry", "value", "charge")
+
+    def __init__(self, kind, chunk, entry, value, charge) -> None:
+        self.kind = kind
+        self.chunk = chunk
+        self.entry = entry
+        self.value = value
+        self.charge = charge
+
+
+class TileStream:
+    """Iterator over a region's tiles with bounded look-ahead.
+
+    Built by :meth:`StoreReader.read_iter`; yields
+    ``(tile_region, ndarray)`` with ``tile_region`` a tuple of
+    field-coordinate slices and the array a fresh (writeable,
+    C-contiguous) copy of that box. The pipeline schedules up to
+    ``max_inflight`` tiles ahead of the caller — fetching payloads,
+    submitting decodes to the reader's pool when it has one — and blocks
+    scheduling beyond that, so in-flight decoded bytes stay bounded by
+    the tile working set (backpressure, not queueing). A fetch error is
+    captured at schedule time and re-raised when its tile's turn comes,
+    preserving yield order. :meth:`close` abandons look-ahead work;
+    :attr:`stats` reports the plan and the observed memory peak.
+    """
+
+    def __init__(self, reader: StoreReader, sel, plan, max_inflight: int) -> None:
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        self.reader = reader
+        self.sel = sel
+        self._plan = plan
+        self.max_inflight = int(max_inflight)
+        self._next = 0  # next plan index to schedule
+        self._pending: deque = deque()  # scheduled, not yet yielded
+        self._inflight_bytes = 0
+        self._peak_inflight = 0
+        self._yielded = 0
+        self._closed = False
+        self._callbacks: list = []
+        itemsize = reader.dtype.itemsize
+        self._max_tile_cost = max(
+            (
+                sum(c.n_elements for c in chunks) * itemsize
+                + int(np.prod([s.stop - s.start for s in t])) * itemsize
+                for t, chunks in plan
+            ),
+            default=0,
+        )
+
+    # -- accounting --------------------------------------------------------------
+
+    @property
+    def stats(self) -> StreamStats:
+        return StreamStats(
+            tiles_total=len(self._plan),
+            tiles_yielded=self._yielded,
+            max_inflight=self.max_inflight,
+            max_tile_cost_bytes=self._max_tile_cost,
+            peak_inflight_bytes=self._peak_inflight,
+        )
+
+    def _charge(self, nbytes: int) -> None:
+        self._inflight_bytes += int(nbytes)
+        if self._inflight_bytes > self._peak_inflight:
+            self._peak_inflight = self._inflight_bytes
+            set_gauge_max("store.read.stream_peak_bytes", self._peak_inflight)
+
+    def _release(self, nbytes: int) -> None:
+        self._inflight_bytes -= int(nbytes)
+
+    # -- pipeline ----------------------------------------------------------------
+
+    def _schedule_one(self) -> None:
+        """Start the next planned tile: cache lookups, payload fetches,
+        and (with a pool) decode submissions. Fetch errors are deferred
+        to the tile's own yield slot so earlier tiles stream intact."""
+        reader = self.reader
+        tile_sel, chunks = self._plan[self._next]
+        self._next += 1
+        sources: list[_TileSource] = []
+        error: Exception | None = None
+        for chunk in chunks:
+            cached = reader._cache_get(chunk.coords)
+            if cached is not None:
+                # shared with the cache: no new memory, charge nothing
+                sources.append(_TileSource("array", chunk, None, cached, 0))
+                continue
+            entry = reader.chunk_entry(chunk.coords)
+            try:
+                payload = reader.fetch_payload(entry)
+            except CorruptChunkError as exc:
+                error = exc
+                break
+            charge = chunk.n_elements * reader.dtype.itemsize
+            self._charge(charge)
+            if reader.pool is not None:
+                task = reader.pool.submit(
+                    decode_chunk, reader.compressor, entry, payload, reader.verify
+                )
+                sources.append(_TileSource("task", chunk, entry, task, charge))
+            else:
+                sources.append(_TileSource("payload", chunk, entry, payload, charge))
+        self._pending.append((tile_sel, sources, error))
+
+    def _collect(self, tile_sel, sources, error):
+        """Finish one scheduled tile: await/execute its decodes, cache
+        the results, assemble the output box."""
+        reader = self.reader
+        if error is not None:
+            for src in sources:
+                self._drop_source(src)
+            raise error
+        shape = tuple(s.stop - s.start for s in tile_sel)
+        out = np.empty(shape, dtype=reader.dtype)
+        self._charge(out.nbytes)
+        try:
+            for src in sources:
+                if src.kind == "array":
+                    data = src.value
+                elif src.kind == "task":
+                    data = src.value.result()
+                    reader._count_decoded(src.entry)
+                    reader._cache_put(src.chunk.coords, data)
+                else:
+                    data = decode_chunk(
+                        reader.compressor, src.entry, src.value, reader.verify
+                    )
+                    reader._count_decoded(src.entry)
+                    reader._cache_put(src.chunk.coords, data)
+                assemble_region(out, tile_sel, src.chunk, data)
+                self._release(src.charge)
+                src.charge = 0
+        finally:
+            self._release(out.nbytes)
+        return tile_sel, out
+
+    def _drop_source(self, src: _TileSource) -> None:
+        if src.kind == "task":
+            src.value.cancel()
+        self._release(src.charge)
+        src.charge = 0
+
+    # -- iterator protocol -------------------------------------------------------
+
+    def __iter__(self) -> "TileStream":
+        return self
+
+    def __next__(self):
+        if self._closed:
+            raise StopIteration
+        while len(self._pending) < self.max_inflight and self._next < len(self._plan):
+            self._schedule_one()
+        if not self._pending:
+            self._finish()
+            raise StopIteration
+        tile_sel, sources, error = self._pending.popleft()
+        try:
+            result = self._collect(tile_sel, sources, error)
+        except BaseException:
+            self.close()
+            raise
+        self._yielded += 1
+        count("store.read.tiles_streamed")
+        return result
+
+    def _finish(self) -> None:
+        self._closed = True
+        callbacks, self._callbacks = self._callbacks, []
+        for cb in callbacks:
+            cb()
+
+    def on_complete(self, callback) -> None:
+        """Register a callback fired once, when the stream exhausts
+        normally (not on error or early :meth:`close`) — the catalog's
+        prefetcher hook."""
+        if self._closed and not self._pending and self._next >= len(self._plan):
+            callback()
+            return
+        self._callbacks.append(callback)
+
+    def close(self) -> None:
+        """Abandon the stream: cancel look-ahead decodes, drop pending
+        tiles. The reader itself stays open and usable."""
+        self._closed = True
+        while self._pending:
+            _, sources, _ = self._pending.popleft()
+            for src in sources:
+                self._drop_source(src)
+
+    def __enter__(self) -> "TileStream":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -207,6 +207,27 @@ class TestSharedChunkCache:
                 obs.disable()
         assert cat.chunk_cache.stats.hits >= first
 
+    def test_cache_hit_counter_unified_across_read_paths(self, store_root):
+        # Regression: chunks_cached used to be counted by path-specific
+        # logic; every read path (read_chunk, read, read_iter) must now
+        # report a warm hit through the same single counting point.
+        root, _ = store_root
+        region = tuple(slice(0, c) for c in CHUNK)  # exactly chunk (0, 0, 0)
+        with StoreCatalog(root, options=CatalogOptions(cache_bytes=64 << 20)) as cat:
+            obs.enable()  # clears the metrics registry
+            try:
+                reg = obs.registry()
+                cat.read_chunk("climate/temp", (0, 0, 0))  # cold: one decode
+                assert reg.counter("store.read.chunks_decompressed").value == 1
+                cat.read_chunk("climate/temp", (0, 0, 0))
+                cat.read("climate/temp", region)
+                for _ in cat.read_iter("climate/temp", region):
+                    pass
+                assert reg.counter("store.read.chunks_cached").value == 3
+                assert reg.counter("store.read.chunks_decompressed").value == 1
+            finally:
+                obs.disable()
+
     def test_eviction_respects_byte_budget(self, store_root):
         root, fields = store_root
         chunk_bytes = np.empty(CHUNK, dtype=np.float32).nbytes
