@@ -15,8 +15,17 @@ a measured, committed artifact:
   commit-stamped, so the perf trajectory of the kernels is tracked in
   version control alongside the code.
 
+The same discipline covers the *whole-compressor* fused pipelines
+(``report["compressors"]``): the tile-streamed sz3/szx/sperr
+implementations are timed end-to-end against the frozen whole-array
+oracles in :mod:`repro.compressors.reference`, with payload bytes,
+metadata, and the decompressed array all required to match, plus
+``tracemalloc`` peak-working-set and per-stage ``compressor.stage.*``
+span breakdowns.
+
 ``--check`` mode (used in CI) shrinks the fixture and runs one rep: it
-keeps the byte-identity gate while dropping the timing cost.
+keeps the byte-identity gates (kernels and whole compressors) while
+dropping the timing cost.
 """
 
 from __future__ import annotations
@@ -75,14 +84,18 @@ def sz3_symbol_stream(
     captured: list[np.ndarray] = []
 
     class _Tap(SZ3Compressor):
-        def _encode_codes(self, symbols, writer):
-            captured.append(np.asarray(symbols, dtype=np.int64).copy())
-            return super()._encode_codes(symbols, writer)
+        def _encode_stream(self, freq, tiles, writer, clock):
+            def spy():
+                for sym in tiles:
+                    captured.append(np.asarray(sym, dtype=np.int64).copy())
+                    yield sym
+
+            return super()._encode_stream(freq, spy(), writer, clock)
 
     _Tap().compress(field.data, field.relative_error_bound(rel_eb))
     if not captured:
         raise RuntimeError("fixture compression produced no symbol stream")
-    return captured[0]
+    return np.concatenate(captured)
 
 
 def _best_of(fns: list, reps: int) -> tuple[list[float], list]:
@@ -153,6 +166,136 @@ def _entry(
         "speedup_decode": ref_dec_s / dec_s,
         "speedup_total": (ref_enc_s + ref_dec_s) / (enc_s + dec_s),
         "identical": identical,
+    }
+
+
+def _stage_breakdown(compressor, data: np.ndarray, eb: float) -> dict:
+    """Aggregated ``compressor.stage.*`` seconds for one traced round trip.
+
+    Fused pipelines emit one span per stage per call (tile times already
+    summed by :class:`repro.obs.StageClock`); the frozen references are
+    uninstrumented, so the breakdown describes the fused implementation.
+    """
+    from repro.obs import capture
+
+    with capture() as rec:
+        result = compressor.compress(data, eb)
+        compressor.decompress(result)
+    stages: dict[str, dict] = {}
+
+    def walk(spans):
+        for sp in spans:
+            if sp.name.startswith("compressor.stage."):
+                entry = stages.setdefault(
+                    sp.name.removeprefix("compressor.stage."),
+                    {"seconds": 0.0, "calls": 0},
+                )
+                entry["seconds"] += sp.elapsed
+                entry["calls"] += int(sp.attrs.get("calls", 1))
+            walk(sp.children)
+
+    walk(rec.roots)
+    return stages
+
+
+def _peak_tracemalloc(fn) -> int:
+    """Peak traced allocation of one untimed call (numpy buffers included)."""
+    import tracemalloc
+
+    tracemalloc.start()
+    tracemalloc.reset_peak()
+    fn()
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return int(peak)
+
+
+def _compressor_entry(name: str, fused, ref, data: np.ndarray, eb: float,
+                      reps: int) -> dict:
+    """Time one fused compressor against its frozen whole-array oracle.
+
+    Identity is the full contract: payload bytes, metadata dict, and the
+    decompressed array must all match. Peak working set is measured with
+    ``tracemalloc`` on separate untimed runs so the accounting overhead
+    never pollutes the throughput numbers.
+    """
+    with span("codec_bench.compressor", codec=name, nbytes=data.nbytes):
+        (enc_s, ref_enc_s), (res, ref_res) = _best_of(
+            [lambda: fused.compress(data, eb), lambda: ref.compress(data, eb)], reps
+        )
+        identical = bool(
+            res.payload == ref_res.payload and res.metadata == ref_res.metadata
+        )
+        (dec_s, ref_dec_s), (out, ref_out) = _best_of(
+            [lambda: fused.decompress(res), lambda: ref.decompress(ref_res)], reps
+        )
+        identical = identical and bool(np.array_equal(out, ref_out))
+        peak_new = _peak_tracemalloc(lambda: fused.compress(data, eb))
+        peak_ref = _peak_tracemalloc(lambda: ref.compress(data, eb))
+    mb = data.nbytes / 1e6
+    return {
+        "input_bytes": int(data.nbytes),
+        "payload_bytes": int(len(res.payload)),
+        "ratio": round(data.nbytes / max(len(res.payload), 1), 3),
+        "compress_mbps": mb / enc_s,
+        "decompress_mbps": mb / dec_s,
+        "ref_compress_mbps": mb / ref_enc_s,
+        "ref_decompress_mbps": mb / ref_dec_s,
+        "speedup_compress": ref_enc_s / enc_s,
+        "speedup_decompress": ref_dec_s / dec_s,
+        "peak_bytes": peak_new,
+        "ref_peak_bytes": peak_ref,
+        "stages": _stage_breakdown(fused, data, eb),
+        "identical": identical,
+    }
+
+
+def run_compressor_bench(
+    field_path: str = DEFAULT_FIELD,
+    shape: tuple[int, ...] = DEFAULT_SHAPE,
+    rel_eb: float = DEFAULT_REL_EB,
+    reps: int = 3,
+    seed: int | None = None,
+) -> dict:
+    """Benchmark the fused compressor pipelines against their frozen oracles.
+
+    Whole-compressor compress/decompress throughput for the tile-streamed
+    sz3/szx/sperr pipelines vs the whole-array references in
+    :mod:`repro.compressors.reference`, with byte+metadata+decode identity,
+    tracemalloc peak working set, and the per-stage span breakdown.
+    """
+    from repro.compressors.reference import (
+        ReferenceSPERRCompressor,
+        ReferenceSZ3Compressor,
+        ReferenceSZXCompressor,
+    )
+    from repro.compressors.sperr import SPERRCompressor
+    from repro.compressors.sz3 import SZ3Compressor
+    from repro.compressors.szx import SZXCompressor
+    from repro.data.datasets import load_field
+
+    kwargs: dict = {"shape": tuple(shape)}
+    if seed is not None:
+        kwargs["seed"] = seed
+    field = load_field(field_path, **kwargs)
+    data = np.ascontiguousarray(field.data, dtype=np.float64)
+    eb = field.relative_error_bound(rel_eb)
+
+    pairs = {
+        "szx": (SZXCompressor(), ReferenceSZXCompressor()),
+        "sz3": (SZ3Compressor(), ReferenceSZ3Compressor()),
+        "sz3_lorenzo": (
+            SZ3Compressor(predictor="lorenzo"),
+            ReferenceSZ3Compressor(predictor="lorenzo"),
+        ),
+        "sperr": (
+            SPERRCompressor(chunk_edge=32),
+            ReferenceSPERRCompressor(chunk_edge=32),
+        ),
+    }
+    return {
+        name: _compressor_entry(name, fused, ref, data, eb, reps)
+        for name, (fused, ref) in pairs.items()
     }
 
 
@@ -251,6 +394,10 @@ def run_codec_bench(
         ),
     }
 
+    compressors = run_compressor_bench(
+        field_path, shape, rel_eb=rel_eb, reps=reps, seed=seed
+    )
+
     report = {
         "schema": SCHEMA,
         "commit": repo_commit(),
@@ -263,7 +410,9 @@ def run_codec_bench(
         "symbol_bytes": sym_bytes,
         "huffman_stream_bytes": lz_bytes,
         "codecs": codecs,
-        "identical": all(c["identical"] for c in codecs.values()),
+        "compressors": compressors,
+        "identical": all(c["identical"] for c in codecs.values())
+        and all(c["identical"] for c in compressors.values()),
     }
     return report
 
@@ -284,6 +433,19 @@ def format_report(report: dict) -> str:
             f"{c['speedup_decode']:>7.2f} {c['speedup_total']:>8.2f} "
             f"{'yes' if c['identical'] else 'DIVERGED':>10}"
         )
+    if report.get("compressors"):
+        lines.append(
+            f"{'compressor':<13} {'ratio':>6} {'cmp MB/s':>9} {'dec MB/s':>9} "
+            f"{'cmp x':>7} {'dec x':>7} {'peak MB':>8} {'ref peak':>9} {'identical':>10}"
+        )
+        for name, c in report["compressors"].items():
+            lines.append(
+                f"{name:<13} {c['ratio']:>6.1f} {c['compress_mbps']:>9.2f} "
+                f"{c['decompress_mbps']:>9.2f} {c['speedup_compress']:>7.2f} "
+                f"{c['speedup_decompress']:>7.2f} {c['peak_bytes']/1e6:>8.1f} "
+                f"{c['ref_peak_bytes']/1e6:>9.1f} "
+                f"{'yes' if c['identical'] else 'DIVERGED':>10}"
+            )
     return "\n".join(lines)
 
 

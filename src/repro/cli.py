@@ -558,12 +558,16 @@ def cmd_codec_bench(args) -> int:
 
     Times encode and decode of every codec in :mod:`repro.encoding` against
     the frozen scalar oracles in :mod:`repro.encoding.reference` on a
-    deterministic SZ3 symbol-stream fixture, diffing the outputs
-    byte-for-byte. Exit 1 on any divergence, or when the composed SZ3
-    lossless stage (Huffman + LZ77) falls below ``--min-speedup``.
+    deterministic SZ3 symbol-stream fixture, and every fused compressor
+    pipeline (sz3/szx/sperr) end-to-end against the frozen whole-array
+    oracles in :mod:`repro.compressors.reference`, diffing payloads (and
+    compressor metadata + decoded arrays) byte-for-byte. Exit 1 on any
+    divergence, when the composed SZ3 lossless stage falls below
+    ``--min-speedup``, or when no fused compressor reaches
+    ``--min-compressor-speedup`` on compress.
 
     ``--check`` is the CI mode: a tiny fixture and one rep keep the
-    byte-identity gate while dropping the timing cost; nothing is written.
+    byte-identity gates while dropping the timing cost; nothing is written.
     """
     from repro.bench.codec_bench import format_report, run_codec_bench, write_report
 
@@ -587,6 +591,17 @@ def cmd_codec_bench(args) -> int:
             print(
                 f"FAIL: sz3_lossless speedup {gate:.2f}x below "
                 f"required {args.min_speedup:.2f}x"
+            )
+            ok = False
+        best_compressor = max(
+            report["compressors"].values(),
+            key=lambda c: c["speedup_compress"],
+        )["speedup_compress"]
+        if args.min_compressor_speedup > 0 and best_compressor < args.min_compressor_speedup:
+            print(
+                f"FAIL: best fused-compressor compress speedup "
+                f"{best_compressor:.2f}x below required "
+                f"{args.min_compressor_speedup:.2f}x"
             )
             ok = False
         if ok:
@@ -941,9 +956,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--min-speedup", type=float, default=0.0,
                    help="fail unless the composed sz3_lossless stage is at least "
                         "this much faster than the reference (0 disables)")
+    p.add_argument("--min-compressor-speedup", type=float, default=0.0,
+                   help="fail unless at least one fused compressor pipeline "
+                        "compresses this much faster than its whole-array "
+                        "reference (0 disables)")
     p.add_argument("--check", action="store_true",
-                   help="CI mode: tiny fixture, one rep, identity gate only, "
-                        "no report written")
+                   help="CI mode: tiny fixture, one rep, identity gates only "
+                        "(kernels and whole compressors), no report written")
     _add_trace_arg(p)
     p.set_defaults(func=cmd_codec_bench)
 

@@ -1,0 +1,567 @@
+"""Reference (pre-fusion) whole-array compressor pipelines, kept as oracles.
+
+Each class here is a verbatim copy of the whole-array implementation that
+shipped before the fused tile-streamed pipelines in
+:mod:`repro.compressors.sz3`, :mod:`repro.compressors.sperr` and
+:mod:`repro.compressors.szx` replaced it. They exist for two reasons
+(the same discipline as :mod:`repro.encoding.reference`):
+
+- **byte-identity gates** — the fused pipelines promise *identical
+  payloads and metadata*; property tests and ``python -m repro
+  codec-bench`` diff every payload against these oracles and fail loudly
+  on a single differing byte, which is what keeps ``.rps`` stores,
+  golden blobs and every downstream determinism gate valid without
+  regeneration;
+- **benchmark baselines** — the whole-compressor rows of
+  ``BENCH_codec.json`` record the fused pipelines' end-to-end speedup
+  and working-set reduction over these implementations, so the perf
+  trajectory is measured against a fixed, honest reference rather than
+  a moving one.
+
+Nothing on a hot path imports this module.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compressors.base import LossyCompressor, quantization_step
+from repro.compressors.speck import SpeckCoder
+from repro.encoding.bitstream import BitReader, BitWriter
+from repro.encoding.huffman import HuffmanCodec
+from repro.encoding.lz77 import lz77_compress, lz77_decompress
+from repro.transforms.wavelet import cdf97_forward, cdf97_inverse, max_levels
+
+# -- SZ3 (interpolation + Lorenzo) -------------------------------------------
+
+_C0 = -1.0 / 16.0
+_C1 = 9.0 / 16.0
+_RADIUS = 32767  # quantization codes in [-RADIUS, RADIUS]
+_OFFSET = 32768
+_OUTLIER = 65536  # sentinel symbol -> value stored exactly
+_ALPHABET = 65537
+_SYMBOL_BITS = 17
+
+
+def _anchor_level(shape: tuple[int, ...]) -> int:
+    """Number of interpolation levels (anchor stride = 2^L)."""
+    longest = max(shape)
+    if longest < 3:
+        return 1
+    return int(min(6, np.floor(np.log2(longest - 1))))
+
+
+def _interp_passes(shape: tuple[int, ...], levels: int):
+    """Yield (axis, stride, half) pass descriptors in traversal order."""
+    for level in range(levels, 0, -1):
+        s = 1 << level
+        h = s >> 1
+        for axis in range(len(shape)):
+            yield axis, s, h
+
+
+def _pass_subgrid(recon: np.ndarray, axis: int, s: int, h: int) -> np.ndarray | None:
+    """View of ``recon`` holding the lines this pass predicts along."""
+    slicer = tuple(
+        slice(None) if a == axis else slice(0, None, h if a < axis else s)
+        for a in range(recon.ndim)
+    )
+    sub = np.moveaxis(recon[slicer], axis, 0)
+    if sub.shape[0] <= h:
+        return None
+    return sub
+
+
+def _predict(sub: np.ndarray, h: int, s: int) -> tuple[np.ndarray, np.ndarray]:
+    """Spline prediction for mid positions ``h, h+s, ...`` along axis 0."""
+    n = sub.shape[0]
+    mids = np.arange(h, n, s)
+    lm1 = sub[mids - h]
+    r1 = mids + h
+    has_r1 = r1 < n
+    rp1 = sub[np.minimum(r1, n - 1)]
+    l3 = mids - 3 * h
+    has_l3 = l3 >= 0
+    lm3 = sub[np.maximum(l3, 0)]
+    r3 = mids + 3 * h
+    has_r3 = r3 < n
+    rp3 = sub[np.minimum(r3, n - 1)]
+
+    bshape = (mids.size,) + (1,) * (sub.ndim - 1)
+    full = (has_l3 & has_r1 & has_r3).reshape(bshape)
+    linear_ok = has_r1.reshape(bshape)
+    cubic = _C0 * lm3 + _C1 * lm1 + _C1 * rp1 + _C0 * rp3
+    linear = 0.5 * (lm1 + rp1)
+    pred = np.where(full, cubic, np.where(linear_ok, linear, lm1))
+    return mids, pred
+
+
+class ReferenceSZ3Compressor(LossyCompressor):
+    """Frozen whole-array SZ3 pipeline (predict -> quantize -> encode as
+    separate full-array passes with intermediate materialization)."""
+
+    name = "sz3"
+
+    def __init__(self, predictor: str = "interp", entropy: str = "huffman") -> None:
+        if predictor not in ("interp", "lorenzo"):
+            raise ValueError("predictor must be 'interp' or 'lorenzo'")
+        if entropy not in ("huffman", "range"):
+            raise ValueError("entropy must be 'huffman' or 'range'")
+        self.predictor = predictor
+        self.entropy = entropy
+
+    def _encode_codes(self, symbols: np.ndarray, writer: BitWriter) -> bytes:
+        """Entropy stage; model/codebook goes to ``writer``, returns bytes."""
+        if self.entropy == "range":
+            from repro.encoding.range_coder import range_encode
+
+            payload, freq = range_encode(symbols, alphabet_size=_ALPHABET)
+            present = np.flatnonzero(freq > 0)
+            writer.write_elias_gamma(present.size + 1)
+            writer.write_uint_array(present.astype(np.uint64), _SYMBOL_BITS)
+            for c in freq[present]:
+                writer.write_elias_gamma(int(c))
+            return payload
+        codec = HuffmanCodec.fit(symbols, alphabet_size=_ALPHABET)
+        present = np.flatnonzero(codec.lengths > 0)
+        writer.write_elias_gamma(present.size + 1)
+        writer.write_uint_array(present.astype(np.uint64), _SYMBOL_BITS)
+        writer.write_uint_array(codec.lengths[present].astype(np.uint64), 6)
+        code_writer = BitWriter()
+        codec.encode(symbols, code_writer)
+        return lz77_compress(code_writer.getvalue())
+
+    def _decode_codes(self, reader: BitReader, payload: bytes, count: int) -> np.ndarray:
+        if self.entropy == "range":
+            from repro.encoding.range_coder import range_decode
+
+            n_present = reader.read_elias_gamma() - 1
+            present = reader.read_uint_array(n_present, _SYMBOL_BITS).astype(np.int64)
+            counts = np.array([reader.read_elias_gamma() for _ in range(n_present)],
+                              dtype=np.int64)
+            freq = np.zeros(_ALPHABET, dtype=np.int64)
+            freq[present] = counts
+            return range_decode(payload, freq, count)
+        n_present = reader.read_elias_gamma() - 1
+        present = reader.read_uint_array(n_present, _SYMBOL_BITS).astype(np.int64)
+        plens = reader.read_uint_array(n_present, 6).astype(np.int64)
+        lengths = np.zeros(_ALPHABET, dtype=np.int64)
+        lengths[present] = plens
+        codec = HuffmanCodec.from_lengths(lengths)
+        return codec.decode(BitReader(lz77_decompress(payload)), count)
+
+    def _compress_interp(self, data: np.ndarray, eb: float) -> tuple[bytes, dict]:
+        step = quantization_step(eb)
+        shape = data.shape
+        levels = _anchor_level(shape)
+        stride = 1 << levels
+        recon = np.zeros_like(data)
+        anchor_slicer = tuple(slice(0, None, stride) for _ in shape)
+        anchors = data[anchor_slicer].astype(np.float64)
+        recon[anchor_slicer] = anchors
+
+        codes: list[np.ndarray] = []
+        outliers: list[np.ndarray] = []
+        for axis, s, h in _interp_passes(shape, levels):
+            sub = _pass_subgrid(recon, axis, s, h)
+            if sub is None:
+                continue
+            orig = np.moveaxis(
+                data[tuple(
+                    slice(None) if a == axis else slice(0, None, h if a < axis else s)
+                    for a in range(data.ndim)
+                )],
+                axis,
+                0,
+            )
+            mids, pred = _predict(sub, h, s)
+            vals = orig[mids]
+            q = np.rint((vals - pred) / step)
+            bad = np.abs(q) > _RADIUS
+            q = np.clip(q, -_RADIUS, _RADIUS).astype(np.int64)
+            rec = pred + q * step
+            if bad.any():
+                rec = np.where(bad, vals, rec)
+                outliers.append(vals[bad].ravel())
+            sub[mids] = rec
+            sym = q + _OFFSET
+            sym[bad] = _OUTLIER
+            codes.append(sym.ravel())
+
+        symbols = np.concatenate(codes) if codes else np.zeros(0, dtype=np.int64)
+        writer = BitWriter()
+        writer.write_uint_array(anchors.ravel().view(np.uint64), 64)
+        out_vals = np.concatenate(outliers) if outliers else np.zeros(0, dtype=np.float64)
+        writer.write_uint_array(out_vals.view(np.uint64), 64)
+        if symbols.size:
+            lz = self._encode_codes(symbols, writer)
+        else:
+            lz = b""
+        head = writer.getvalue()
+        payload = len(head).to_bytes(8, "little") + head + lz
+        return payload, {
+            "mode": "interp",
+            "entropy": self.entropy,
+            "levels": levels,
+            "n_codes": int(symbols.size),
+            "n_outliers": int(out_vals.size),
+            "n_anchors": int(anchors.size),
+        }
+
+    def _decompress_interp(self, payload: bytes, metadata: dict) -> np.ndarray:
+        shape = tuple(metadata["shape"])
+        eb = float(metadata["error_bound"])
+        step = quantization_step(eb)
+        levels = int(metadata["levels"])
+        n_codes = int(metadata["n_codes"])
+        n_out = int(metadata["n_outliers"])
+        n_anchors = int(metadata["n_anchors"])
+
+        head_len = int.from_bytes(payload[:8], "little")
+        reader = BitReader(payload[8 : 8 + head_len])
+        lz = payload[8 + head_len :]
+        anchors = reader.read_uint_array(n_anchors, 64).view(np.float64)
+        out_vals = reader.read_uint_array(n_out, 64).view(np.float64)
+        symbols = (
+            self._decode_codes(reader, lz, n_codes) if n_codes else np.zeros(0, dtype=np.int64)
+        )
+
+        recon = np.zeros(shape, dtype=np.float64)
+        stride = 1 << levels
+        anchor_slicer = tuple(slice(0, None, stride) for _ in shape)
+        recon[anchor_slicer] = anchors.reshape(recon[anchor_slicer].shape)
+
+        pos = 0
+        out_pos = 0
+        for axis, s, h in _interp_passes(shape, levels):
+            sub = _pass_subgrid(recon, axis, s, h)
+            if sub is None:
+                continue
+            mids, pred = _predict(sub, h, s)
+            count = pred.size
+            sym = symbols[pos : pos + count].reshape(pred.shape)
+            pos += count
+            bad = sym == _OUTLIER
+            q = sym.astype(np.float64) - _OFFSET
+            rec = pred + q * step
+            n_bad = int(bad.sum())
+            if n_bad:
+                rec[bad] = out_vals[out_pos : out_pos + n_bad]
+                out_pos += n_bad
+            sub[mids] = rec
+        return recon
+
+    def _compress_lorenzo(self, data: np.ndarray, eb: float) -> tuple[bytes, dict]:
+        step = quantization_step(eb)
+        qv = np.rint(data / step)
+        bad = np.abs(qv) >= 2**52  # beyond exact float integer range
+        if bad.any():
+            raise ValueError("error bound too small relative to data magnitude")
+        qv = qv.astype(np.int64)
+        res = qv.copy()
+        for axis in range(res.ndim):
+            res = np.diff(res, axis=axis, prepend=0)
+        clipped = np.clip(res, -_RADIUS, _RADIUS)
+        outlier_mask = clipped != res
+        sym = (clipped + _OFFSET).astype(np.int64).ravel()
+        sym[outlier_mask.ravel()] = _OUTLIER
+        out_res = res[outlier_mask].astype(np.int64)
+
+        writer = BitWriter()
+        # Outlier residuals stored as 64-bit two's complement.
+        writer.write_uint_array(out_res.view(np.uint64), 64)
+        lz = self._encode_codes(sym, writer)
+        head = writer.getvalue()
+        payload = len(head).to_bytes(8, "little") + head + lz
+        return payload, {
+            "mode": "lorenzo",
+            "entropy": self.entropy,
+            "n_codes": int(sym.size),
+            "n_outliers": int(out_res.size),
+        }
+
+    def _decompress_lorenzo(self, payload: bytes, metadata: dict) -> np.ndarray:
+        shape = tuple(metadata["shape"])
+        eb = float(metadata["error_bound"])
+        step = quantization_step(eb)
+        n_codes = int(metadata["n_codes"])
+        n_out = int(metadata["n_outliers"])
+
+        head_len = int.from_bytes(payload[:8], "little")
+        reader = BitReader(payload[8 : 8 + head_len])
+        lz = payload[8 + head_len :]
+        out_res = reader.read_uint_array(n_out, 64).view(np.int64)
+        symbols = self._decode_codes(reader, lz, n_codes)
+
+        res = symbols.astype(np.int64) - _OFFSET
+        bad = symbols == _OUTLIER
+        res[bad] = out_res
+        res = res.reshape(shape)
+        for axis in range(res.ndim - 1, -1, -1):
+            res = np.cumsum(res, axis=axis)
+        return res.astype(np.float64) * step
+
+    def _compress(self, data: np.ndarray, error_bound: float) -> tuple[bytes, dict]:
+        if self.predictor == "interp":
+            return self._compress_interp(data, error_bound)
+        return self._compress_lorenzo(data, error_bound)
+
+    def _decompress(self, payload: bytes, metadata: dict) -> np.ndarray:
+        if metadata["mode"] == "interp":
+            return self._decompress_interp(payload, metadata)
+        return self._decompress_lorenzo(payload, metadata)
+
+
+# -- SZx ----------------------------------------------------------------------
+
+BLOCK = 128
+_K_BITS = 6  # width field per non-constant block (widths 0..63)
+
+
+class ReferenceSZXCompressor(LossyCompressor):
+    """Frozen whole-array SZx pipeline (one quantize pass over all blocks,
+    then one grouped bulk-packing pass)."""
+
+    name = "szx"
+
+    def __init__(self, block_size: int = BLOCK) -> None:
+        if block_size < 2:
+            raise ValueError("block_size must be >= 2")
+        self.block_size = int(block_size)
+
+    def _compress(self, data: np.ndarray, error_bound: float) -> tuple[bytes, dict]:
+        bs = self.block_size
+        flat = data.ravel()
+        n = flat.size
+        nblocks = -(-n // bs)
+        padded = np.empty(nblocks * bs, dtype=np.float64)
+        padded[:n] = flat
+        padded[n:] = flat[-1]  # edge padding stays inside block value range
+        blocks = padded.reshape(nblocks, bs)
+
+        bmin = blocks.min(axis=1)
+        bmax = blocks.max(axis=1)
+        const = (bmax - bmin) <= 2.0 * error_bound
+        means = 0.5 * (bmin + bmax)
+        nc = ~const
+        if nc.any():
+            step = quantization_step(error_bound)
+            q = np.rint((blocks[nc] - bmin[nc, None]) / step).astype(np.uint64)
+            qmax = q.max(axis=1)
+            w = np.zeros(qmax.size, dtype=np.int64)
+            nz = qmax > 0
+            # bit_length of the per-block max quantization code
+            w[nz] = np.floor(np.log2(qmax[nz].astype(np.float64))).astype(np.int64) + 1
+            # guard against log2 rounding at exact powers of two
+            too_small = (np.uint64(1) << w.astype(np.uint64)) <= qmax
+            w[too_small] += 1
+
+        writer = BitWriter()
+        writer.write_bit_array(const)
+        # Constant blocks: the midpoint as raw float64 bits.
+        if const.any():
+            writer.write_uint_array(means[const].view(np.uint64), 64)
+        if nc.any():
+            writer.write_uint_array(bmin[nc].view(np.uint64), 64)
+            writer.write_uint_array(w.astype(np.uint64), _K_BITS)
+            # Group payload by width for bulk packing.
+            for width in np.unique(w):
+                if width == 0:
+                    continue
+                sel = w == width
+                writer.write_uint_array(q[sel].ravel(), int(width))
+        payload = writer.getvalue()
+        return payload, {"n": n, "nblocks": nblocks, "block_size": bs}
+
+    def _decompress(self, payload: bytes, metadata: dict) -> np.ndarray:
+        n = int(metadata["n"])
+        nblocks = int(metadata["nblocks"])
+        bs = int(metadata.get("block_size", self.block_size))
+        eb = float(metadata["error_bound"])
+        reader = BitReader(payload)
+
+        const = reader.read_bit_array(nblocks)
+        out = np.empty((nblocks, bs), dtype=np.float64)
+        n_const = int(const.sum())
+        if n_const:
+            means = reader.read_uint_array(n_const, 64).view(np.float64)
+            out[const] = means[:, None]
+        n_nc = nblocks - n_const
+        if n_nc:
+            bmin = reader.read_uint_array(n_nc, 64).view(np.float64)
+            w = reader.read_uint_array(n_nc, _K_BITS).astype(np.int64)
+            q = np.zeros((n_nc, bs), dtype=np.float64)
+            for width in np.unique(w):
+                if width == 0:
+                    continue
+                sel = w == width
+                vals = reader.read_uint_array(int(sel.sum()) * bs, int(width))
+                q[sel] = vals.reshape(-1, bs).astype(np.float64)
+            out[~const] = bmin[:, None] + q * quantization_step(eb)
+        shape = tuple(metadata["shape"])
+        return out.reshape(-1)[:n].reshape(shape)
+
+
+# -- SPERR --------------------------------------------------------------------
+
+_CORR_BITS = 8  # signed correction codes in [-127, 127]
+_CORR_MAX = 127
+
+
+class ReferenceSPERRCompressor(LossyCompressor):
+    """Frozen SPERR pipeline (whole-array transform/quantize/encode passes;
+    chunked mode recurses into the single-chunk pipeline per chunk)."""
+
+    name = "sperr"
+
+    def __init__(self, quant_factor: float = 0.5, chunk_edge: int | None = None) -> None:
+        if not 0.0 < quant_factor <= 1.0:
+            raise ValueError("quant_factor must be in (0, 1]")
+        if chunk_edge is not None and chunk_edge < 8:
+            raise ValueError("chunk_edge must be >= 8")
+        self.quant_factor = float(quant_factor)
+        self.chunk_edge = chunk_edge
+
+    def _quantize(self, coefs: np.ndarray, qstep: float) -> tuple[np.ndarray, np.ndarray]:
+        mag = np.floor(np.abs(coefs) / qstep).astype(np.int64)
+        return mag, coefs < 0
+
+    def _dequantize(self, mag: np.ndarray, neg: np.ndarray, qstep: float) -> np.ndarray:
+        vals = np.where(mag > 0, (mag.astype(np.float64) + 0.5) * qstep, 0.0)
+        return np.where(neg, -vals, vals)
+
+    def _chunk_slices(self, shape: tuple[int, ...]):
+        """Slicers of the independent chunks covering ``shape``."""
+        edge = self.chunk_edge
+        axes = []
+        for s in shape:
+            starts = list(range(0, s, edge))
+            axes.append([slice(a, min(a + edge, s)) for a in starts])
+        import itertools
+
+        return [tuple(c) for c in itertools.product(*axes)]
+
+    def _compress(self, data: np.ndarray, error_bound: float) -> tuple[bytes, dict]:
+        if self.chunk_edge is not None and any(
+            s > self.chunk_edge for s in data.shape
+        ):
+            return self._compress_chunked(data, error_bound)
+        return self._compress_single(data, error_bound)
+
+    def _compress_chunked(self, data: np.ndarray, error_bound: float) -> tuple[bytes, dict]:
+        slicers = self._chunk_slices(data.shape)
+        parts = []
+        chunk_meta = []
+        for sl in slicers:
+            payload, meta = self._compress_single(
+                np.ascontiguousarray(data[sl]), error_bound
+            )
+            parts.append(payload)
+            chunk_meta.append(
+                {
+                    "levels": meta["levels"],
+                    "p_top": meta["p_top"],
+                    "qstep": meta["qstep"],
+                    "nbytes": len(payload),
+                }
+            )
+        return b"".join(parts), {
+            "mode": "chunked",
+            "chunk_edge": self.chunk_edge,
+            "chunks": chunk_meta,
+            # container-level keys expected downstream
+            "levels": 0,
+            "p_top": -1,
+            "qstep": self.quant_factor * error_bound,
+        }
+
+    def _decompress_chunked(self, payload: bytes, metadata: dict) -> np.ndarray:
+        shape = tuple(metadata["shape"])
+        eb = float(metadata["error_bound"])
+        out = np.empty(shape, dtype=np.float64)
+        slicers = self._chunk_slices(shape)
+        chunk_meta = metadata["chunks"]
+        if len(slicers) != len(chunk_meta):
+            raise ValueError("corrupt chunked stream: chunk count mismatch")
+        offset = 0
+        for sl, meta in zip(slicers, chunk_meta):
+            nbytes = int(meta["nbytes"])
+            part = payload[offset : offset + nbytes]
+            offset += nbytes
+            chunk_shape = tuple(s.stop - s.start for s in sl)
+            sub_meta = {
+                "shape": chunk_shape,
+                "error_bound": eb,
+                "levels": meta["levels"],
+                "p_top": meta["p_top"],
+                "qstep": meta["qstep"],
+            }
+            out[sl] = self._decompress_single(part, sub_meta)
+        return out
+
+    def _compress_single(self, data: np.ndarray, error_bound: float) -> tuple[bytes, dict]:
+        shape = data.shape
+        levels = max_levels(shape)
+        qstep = self.quant_factor * error_bound
+        coefs = cdf97_forward(data, levels)
+        mag, neg = self._quantize(coefs, qstep)
+
+        speck_writer = BitWriter()
+        p_top = SpeckCoder().encode(mag, neg, speck_writer)
+        lz = lz77_compress(speck_writer.getvalue())
+
+        # Outlier pass: reconstruct exactly as the decoder will and correct
+        # every point still violating the bound.
+        recon = cdf97_inverse(self._dequantize(mag, neg, qstep), levels)
+        err = data - recon
+        viol = np.abs(err) > error_bound
+        idxs = np.flatnonzero(viol.ravel())
+        corr = np.rint(err.ravel()[idxs] / error_bound).astype(np.int64)
+        exact_mask = np.abs(corr) > _CORR_MAX
+        exact_vals = data.ravel()[idxs[exact_mask]]
+
+        head = BitWriter()
+        nbits_idx = max(int(data.size - 1).bit_length(), 1)
+        head.write_elias_gamma(int(idxs.size) + 1)
+        head.write_uint_array(idxs.astype(np.uint64), nbits_idx)
+        clipped = (corr + _CORR_MAX + 1).clip(0, 2 * _CORR_MAX + 1)
+        head.write_uint_array(clipped.astype(np.uint64), _CORR_BITS)
+        head.write_bit_array(exact_mask)
+        head.write_uint_array(exact_vals.view(np.uint64), 64)
+        head_bytes = head.getvalue()
+        payload = len(head_bytes).to_bytes(8, "little") + head_bytes + lz
+        return payload, {"levels": levels, "p_top": p_top, "qstep": qstep}
+
+    def _decompress(self, payload: bytes, metadata: dict) -> np.ndarray:
+        if metadata.get("mode") == "chunked":
+            return self._decompress_chunked(payload, metadata)
+        return self._decompress_single(payload, metadata)
+
+    def _decompress_single(self, payload: bytes, metadata: dict) -> np.ndarray:
+        shape = tuple(metadata["shape"])
+        eb = float(metadata["error_bound"])
+        levels = int(metadata["levels"])
+        p_top = int(metadata["p_top"])
+        qstep = float(metadata["qstep"])
+        size = int(np.prod(shape))
+
+        head_len = int.from_bytes(payload[:8], "little")
+        reader = BitReader(payload[8 : 8 + head_len])
+        lz = payload[8 + head_len :]
+
+        nbits_idx = max(int(size - 1).bit_length(), 1)
+        n_out = reader.read_elias_gamma() - 1
+        idxs = reader.read_uint_array(n_out, nbits_idx).astype(np.int64)
+        corr = reader.read_uint_array(n_out, _CORR_BITS).astype(np.int64) - (_CORR_MAX + 1)
+        exact_mask = reader.read_bit_array(n_out)
+        exact_vals = reader.read_uint_array(int(exact_mask.sum()), 64).view(np.float64)
+
+        mag, neg = SpeckCoder().decode(BitReader(lz77_decompress(lz)), shape, p_top)
+        coefs = self._dequantize(mag.reshape(shape), neg.reshape(shape), qstep)
+        recon = cdf97_inverse(coefs, levels)
+
+        flat = recon.ravel()
+        if n_out:
+            flat[idxs] += corr * eb
+            flat[idxs[exact_mask]] = exact_vals
+        return flat.reshape(shape)

@@ -11,6 +11,16 @@ Architecture per Li, Lindstrom & Clyne (IPDPS'23):
    (index, correction-code) list — this is what guarantees the pointwise
    bound;
 4. the SPECK stream goes through the LZ77 lossless backend (zstd's role).
+
+The pipeline is one fused tile loop: each independent chunk (the whole
+array when ``chunk_edge`` is None or covers it) streams through
+transform → quantize → SPECK → outlier-correct while its coefficients are
+hot, its payload is appended, and the intermediates are dropped before the
+next chunk starts — the working set is one chunk, not the whole field.
+Per-stage wall time aggregates across tiles into single
+``compressor.stage.*`` spans (:class:`repro.obs.StageClock`). Both modes
+are byte-identical to the frozen whole-array oracle
+(:class:`repro.compressors.reference.ReferenceSPERRCompressor`).
 """
 
 from __future__ import annotations
@@ -19,9 +29,9 @@ import numpy as np
 
 from repro.compressors.base import LossyCompressor
 from repro.compressors.speck import SpeckCoder
-from repro.encoding.bitstream import BitReader, BitWriter
+from repro.encoding.bitstream import BitReader, BitWriter, pack_uint_array
 from repro.encoding.lz77 import lz77_compress, lz77_decompress
-from repro.obs import span
+from repro.obs import StageClock
 from repro.transforms.wavelet import cdf97_forward, cdf97_inverse, max_levels
 
 _CORR_BITS = 8  # signed correction codes in [-127, 127]
@@ -68,19 +78,17 @@ class SPERRCompressor(LossyCompressor):
         return [tuple(c) for c in itertools.product(*axes)]
 
     def _compress(self, data: np.ndarray, error_bound: float) -> tuple[bytes, dict]:
-        if self.chunk_edge is not None and any(
-            s > self.chunk_edge for s in data.shape
-        ):
-            return self._compress_chunked(data, error_bound)
-        return self._compress_single(data, error_bound)
-
-    def _compress_chunked(self, data: np.ndarray, error_bound: float) -> tuple[bytes, dict]:
-        slicers = self._chunk_slices(data.shape)
+        clock = StageClock("compressor.stage", codec=self.name)
+        if self.chunk_edge is None or all(s <= self.chunk_edge for s in data.shape):
+            payload, meta = self._compress_tile(data, error_bound, clock)
+            clock.emit(tiles=1)
+            return payload, meta
         parts = []
         chunk_meta = []
+        slicers = self._chunk_slices(data.shape)
         for sl in slicers:
-            payload, meta = self._compress_single(
-                np.ascontiguousarray(data[sl]), error_bound
+            payload, meta = self._compress_tile(
+                np.ascontiguousarray(data[sl]), error_bound, clock
             )
             parts.append(payload)
             chunk_meta.append(
@@ -91,6 +99,7 @@ class SPERRCompressor(LossyCompressor):
                     "nbytes": len(payload),
                 }
             )
+        clock.emit(tiles=len(slicers))
         return b"".join(parts), {
             "mode": "chunked",
             "chunk_edge": self.chunk_edge,
@@ -101,48 +110,24 @@ class SPERRCompressor(LossyCompressor):
             "qstep": self.quant_factor * error_bound,
         }
 
-    def _decompress_chunked(self, payload: bytes, metadata: dict) -> np.ndarray:
-        shape = tuple(metadata["shape"])
-        eb = float(metadata["error_bound"])
-        out = np.empty(shape, dtype=np.float64)
-        slicers = self._chunk_slices(shape)
-        chunk_meta = metadata["chunks"]
-        if len(slicers) != len(chunk_meta):
-            raise ValueError("corrupt chunked stream: chunk count mismatch")
-        offset = 0
-        for sl, meta in zip(slicers, chunk_meta):
-            nbytes = int(meta["nbytes"])
-            part = payload[offset : offset + nbytes]
-            offset += nbytes
-            chunk_shape = tuple(s.stop - s.start for s in sl)
-            sub_meta = {
-                "shape": chunk_shape,
-                "error_bound": eb,
-                "levels": meta["levels"],
-                "p_top": meta["p_top"],
-                "qstep": meta["qstep"],
-            }
-            out[sl] = self._decompress_single(part, sub_meta)
-        return out
-
-    def _compress_single(self, data: np.ndarray, error_bound: float) -> tuple[bytes, dict]:
+    def _compress_tile(self, data: np.ndarray, error_bound: float,
+                       clock: StageClock) -> tuple[bytes, dict]:
         shape = data.shape
         levels = max_levels(shape)
         qstep = self.quant_factor * error_bound
-        with span("compressor.stage.predict", codec=self.name, transform="cdf97"):
+        with clock("predict"):
             coefs = cdf97_forward(data, levels)
-        with span("compressor.stage.quantize", codec=self.name):
+        with clock("quantize"):
             mag, neg = self._quantize(coefs, qstep)
 
-        with span("compressor.stage.encode", codec=self.name) as sp:
+        with clock("encode"):
             speck_writer = BitWriter()
             p_top = SpeckCoder().encode(mag, neg, speck_writer)
             lz = lz77_compress(speck_writer.getvalue())
-            sp.set(speck_bits=speck_writer.bit_length, bytes_out=len(lz))
 
         # Outlier pass: reconstruct exactly as the decoder will and correct
         # every point still violating the bound.
-        with span("compressor.stage.outlier", codec=self.name) as sp:
+        with clock("outlier"):
             recon = cdf97_inverse(self._dequantize(mag, neg, qstep), levels)
             err = data - recon
             viol = np.abs(err) > error_bound
@@ -150,26 +135,52 @@ class SPERRCompressor(LossyCompressor):
             corr = np.rint(err.ravel()[idxs] / error_bound).astype(np.int64)
             exact_mask = np.abs(corr) > _CORR_MAX
             exact_vals = data.ravel()[idxs[exact_mask]]
-            sp.set(n_outliers=int(idxs.size))
 
-        head = BitWriter()
-        nbits_idx = max(int(data.size - 1).bit_length(), 1)
-        head.write_elias_gamma(int(idxs.size) + 1)
-        head.write_uint_array(idxs.astype(np.uint64), nbits_idx)
-        clipped = (corr + _CORR_MAX + 1).clip(0, 2 * _CORR_MAX + 1)
-        head.write_uint_array(clipped.astype(np.uint64), _CORR_BITS)
-        head.write_bit_array(exact_mask)
-        head.write_uint_array(exact_vals.view(np.uint64), 64)
-        head_bytes = head.getvalue()
+        with clock("encode"):
+            head = BitWriter()
+            nbits_idx = max(int(data.size - 1).bit_length(), 1)
+            head.write_elias_gamma(int(idxs.size) + 1)
+            head.write_packed(pack_uint_array(idxs.astype(np.uint64), nbits_idx))
+            clipped = (corr + _CORR_MAX + 1).clip(0, 2 * _CORR_MAX + 1)
+            head.write_packed(pack_uint_array(clipped.astype(np.uint64), _CORR_BITS))
+            head.write_bit_array(exact_mask)
+            head.write_packed(pack_uint_array(exact_vals.view(np.uint64), 64))
+            head_bytes = head.getvalue()
         payload = len(head_bytes).to_bytes(8, "little") + head_bytes + lz
         return payload, {"levels": levels, "p_top": p_top, "qstep": qstep}
 
     def _decompress(self, payload: bytes, metadata: dict) -> np.ndarray:
+        clock = StageClock("compressor.stage", codec=self.name)
         if metadata.get("mode") == "chunked":
-            return self._decompress_chunked(payload, metadata)
-        return self._decompress_single(payload, metadata)
+            shape = tuple(metadata["shape"])
+            eb = float(metadata["error_bound"])
+            out = np.empty(shape, dtype=np.float64)
+            slicers = self._chunk_slices(shape)
+            chunk_meta = metadata["chunks"]
+            if len(slicers) != len(chunk_meta):
+                raise ValueError("corrupt chunked stream: chunk count mismatch")
+            offset = 0
+            for sl, meta in zip(slicers, chunk_meta):
+                nbytes = int(meta["nbytes"])
+                part = payload[offset : offset + nbytes]
+                offset += nbytes
+                chunk_shape = tuple(s.stop - s.start for s in sl)
+                sub_meta = {
+                    "shape": chunk_shape,
+                    "error_bound": eb,
+                    "levels": meta["levels"],
+                    "p_top": meta["p_top"],
+                    "qstep": meta["qstep"],
+                }
+                out[sl] = self._decompress_tile(part, sub_meta, clock)
+            clock.emit(tiles=len(slicers))
+            return out
+        out = self._decompress_tile(payload, metadata, clock)
+        clock.emit(tiles=1)
+        return out
 
-    def _decompress_single(self, payload: bytes, metadata: dict) -> np.ndarray:
+    def _decompress_tile(self, payload: bytes, metadata: dict,
+                         clock: StageClock) -> np.ndarray:
         shape = tuple(metadata["shape"])
         eb = float(metadata["error_bound"])
         levels = int(metadata["levels"])
@@ -181,7 +192,6 @@ class SPERRCompressor(LossyCompressor):
         reader = BitReader(payload[8 : 8 + head_len])
         lz = payload[8 + head_len :]
 
-        nbits_idx = max(size - 1, 1).bit_length() if size > 1 else 1
         nbits_idx = max(int(size - 1).bit_length(), 1)
         n_out = reader.read_elias_gamma() - 1
         idxs = reader.read_uint_array(n_out, nbits_idx).astype(np.int64)
@@ -189,10 +199,10 @@ class SPERRCompressor(LossyCompressor):
         exact_mask = reader.read_bit_array(n_out)
         exact_vals = reader.read_uint_array(int(exact_mask.sum()), 64).view(np.float64)
 
-        with span("compressor.stage.decode", codec=self.name):
+        with clock("decode"):
             mag, neg = SpeckCoder().decode(BitReader(lz77_decompress(lz)), shape, p_top)
         coefs = self._dequantize(mag.reshape(shape), neg.reshape(shape), qstep)
-        with span("compressor.stage.predict", codec=self.name, transform="cdf97"):
+        with clock("predict"):
             recon = cdf97_inverse(coefs, levels)
 
         flat = recon.ravel()

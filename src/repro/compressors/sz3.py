@@ -18,8 +18,24 @@ pre-quantized to the ``2*eb`` grid, then the integer Lorenzo transform
 (per-axis first differences) is applied losslessly — fully vectorizable
 while preserving the error bound.
 
-Every pass is a strided-view operation over a whole subgrid, so compression
-cost is a few numpy kernels per (level, axis) pair.
+The pipeline is *fused and tile-streamed*: symbols are produced in bounded
+tiles (``tile_symbols`` codes at a time — slabs along axis 0 for Lorenzo,
+row groups along each pass's mid axis for interpolation) and handed
+straight to the entropy stage, which consumes them incrementally
+(per-tile ``HuffmanCodec.encode_packed`` into one bit stream, or
+``RangeEncoder.update``). The static entropy models need the full symbol
+histogram first, so compression streams the tiles twice: a *scan* phase
+accumulates per-tile ``np.bincount`` histograms (and collects outliers),
+then an *emit* phase regenerates the same tiles deterministically and
+encodes them — the whole-array symbol vector, its concatenation, and the
+per-symbol code expansion never exist at once. Interpolation's emit phase
+exploits the traversal invariant that every point is written exactly once:
+predictions are re-derived from the *final* reconstruction (stencil points
+are never rewritten after they are produced), so no second writeback pass
+is needed. Decode mirrors the tiling via resumable entropy decoders
+(:meth:`HuffmanCodec.stream_decoder` / ``RangeDecoder.decode``). Payloads
+are bit-for-bit identical to the frozen whole-array oracle
+(:class:`repro.compressors.reference.ReferenceSZ3Compressor`).
 """
 
 from __future__ import annotations
@@ -27,10 +43,10 @@ from __future__ import annotations
 import numpy as np
 
 from repro.compressors.base import LossyCompressor, quantization_step
-from repro.encoding.bitstream import BitReader, BitWriter
+from repro.encoding.bitstream import BitReader, BitWriter, pack_uint_array
 from repro.encoding.huffman import HuffmanCodec
 from repro.encoding.lz77 import lz77_compress, lz77_decompress
-from repro.obs import span
+from repro.obs import StageClock
 
 _C0 = -1.0 / 16.0
 _C1 = 9.0 / 16.0
@@ -39,6 +55,9 @@ _OFFSET = 32768
 _OUTLIER = 65536  # sentinel symbol -> value stored exactly
 _ALPHABET = 65537
 _SYMBOL_BITS = 17
+
+#: Quantization codes per streamed tile (2 MiB of int64 symbols).
+TILE_SYMBOLS = 1 << 18
 
 
 def _anchor_level(shape: tuple[int, ...]) -> int:
@@ -75,15 +94,25 @@ def _pass_subgrid(recon: np.ndarray, axis: int, s: int, h: int) -> np.ndarray | 
     return sub
 
 
-def _predict(sub: np.ndarray, h: int, s: int) -> tuple[np.ndarray, np.ndarray]:
-    """Spline prediction for mid positions ``h, h+s, ...`` along axis 0.
+def _predict_at(sub: np.ndarray, mids: np.ndarray, h: int) -> np.ndarray:
+    """Spline prediction for the given mid positions along axis 0.
 
-    Returns ``(mids, pred)`` where ``pred`` has the mid positions' shape.
-    All stencil points lie on the coarse (stride ``s``) grid, hence are
-    already reconstructed.
+    All stencil points lie on the coarse grid, hence are already
+    reconstructed. Purely elementwise per mid row, so predicting any
+    subset of ``mids`` yields the same floats as the whole-pass call —
+    the property tiled pipelines rely on for byte identity.
     """
     n = sub.shape[0]
-    mids = np.arange(h, n, s)
+    if mids.size and int(mids[0]) - 3 * h >= 0 and int(mids[-1]) + 3 * h < n:
+        # Interior fast path: the full 4-point stencil is in range for
+        # every mid, so this is exactly the ``full`` branch below —
+        # bit-identical floats without the boundary selects.
+        return (
+            _C0 * sub[mids - 3 * h]
+            + _C1 * sub[mids - h]
+            + _C1 * sub[mids + h]
+            + _C0 * sub[mids + 3 * h]
+        )
     lm1 = sub[mids - h]
     r1 = mids + h
     has_r1 = r1 < n
@@ -100,8 +129,16 @@ def _predict(sub: np.ndarray, h: int, s: int) -> tuple[np.ndarray, np.ndarray]:
     linear_ok = has_r1.reshape(bshape)
     cubic = _C0 * lm3 + _C1 * lm1 + _C1 * rp1 + _C0 * rp3
     linear = 0.5 * (lm1 + rp1)
-    pred = np.where(full, cubic, np.where(linear_ok, linear, lm1))
-    return mids, pred
+    return np.where(full, cubic, np.where(linear_ok, linear, lm1))
+
+
+def _predict(sub: np.ndarray, h: int, s: int) -> tuple[np.ndarray, np.ndarray]:
+    """Spline prediction for mid positions ``h, h+s, ...`` along axis 0.
+
+    Returns ``(mids, pred)`` where ``pred`` has the mid positions' shape.
+    """
+    mids = np.arange(h, sub.shape[0], s)
+    return mids, _predict_at(sub, mids, h)
 
 
 class SZ3Compressor(LossyCompressor):
@@ -109,51 +146,70 @@ class SZ3Compressor(LossyCompressor):
 
     name = "sz3"
 
-    def __init__(self, predictor: str = "interp", entropy: str = "huffman") -> None:
+    def __init__(
+        self,
+        predictor: str = "interp",
+        entropy: str = "huffman",
+        tile_symbols: int = TILE_SYMBOLS,
+    ) -> None:
         if predictor not in ("interp", "lorenzo"):
             raise ValueError("predictor must be 'interp' or 'lorenzo'")
         if entropy not in ("huffman", "range"):
             raise ValueError("entropy must be 'huffman' or 'range'")
+        if tile_symbols < 1:
+            raise ValueError("tile_symbols must be >= 1")
         self.predictor = predictor
         self.entropy = entropy
+        self.tile_symbols = int(tile_symbols)
 
     # -- pluggable entropy backend -------------------------------------------
     #
     # "huffman": canonical Huffman + LZ77 (real SZ3's Huffman + zstd);
     # "range":  static range coder (the arithmetic/ANS stage of SZ
     #           variants) — already near entropy, so no LZ pass after it.
+    #
+    # Both models are static, built from the phase-1 histogram; the emit
+    # phase then feeds symbol tiles to the incremental encoder legs.
 
-    def _encode_codes(self, symbols: np.ndarray, writer: BitWriter) -> bytes:
-        """Entropy stage; model/codebook goes to ``writer``, returns bytes."""
-        with span(
-            "compressor.stage.encode", codec=self.name, entropy=self.entropy
-        ) as sp:
-            if self.entropy == "range":
-                from repro.encoding.range_coder import range_encode
+    def _encode_stream(self, freq: np.ndarray, tiles, writer: BitWriter,
+                       clock: StageClock) -> bytes:
+        """Entropy stage over a tile iterator; model goes to ``writer``."""
+        if self.entropy == "range":
+            from repro.encoding.range_coder import RangeEncoder
 
-                payload, freq = range_encode(symbols, alphabet_size=_ALPHABET)
+            with clock("encode"):
                 present = np.flatnonzero(freq > 0)
                 writer.write_elias_gamma(present.size + 1)
-                writer.write_uint_array(present.astype(np.uint64), _SYMBOL_BITS)
+                writer.write_packed(pack_uint_array(present.astype(np.uint64), _SYMBOL_BITS))
                 for c in freq[present]:
                     writer.write_elias_gamma(int(c))
-                sp.set(n_symbols=int(symbols.size), bytes_out=len(payload))
-                return payload
-            codec = HuffmanCodec.fit(symbols, alphabet_size=_ALPHABET)
+                enc = RangeEncoder(freq)
+            for sym in tiles:
+                with clock("encode"):
+                    enc.update(sym)
+            with clock("encode"):
+                return enc.finish()
+        with clock("encode"):
+            codec = HuffmanCodec.from_frequencies(freq)
             present = np.flatnonzero(codec.lengths > 0)
             writer.write_elias_gamma(present.size + 1)
-            writer.write_uint_array(present.astype(np.uint64), _SYMBOL_BITS)
-            writer.write_uint_array(codec.lengths[present].astype(np.uint64), 6)
+            writer.write_packed(pack_uint_array(present.astype(np.uint64), _SYMBOL_BITS))
+            writer.write_packed(pack_uint_array(codec.lengths[present].astype(np.uint64), 6))
             code_writer = BitWriter()
-            codec.encode(symbols, code_writer)
-            payload = lz77_compress(code_writer.getvalue())
-            sp.set(n_symbols=int(symbols.size), bytes_out=len(payload))
-            return payload
+        for sym in tiles:
+            with clock("encode"):
+                # encode appends per-symbol bool runs; compact() byte-packs
+                # them immediately so pending bits stay tile-bounded.
+                codec.encode(sym, code_writer)
+                code_writer.compact()
+        with clock("encode"):
+            return lz77_compress(code_writer.getvalue())
 
-    def _decode_codes(self, reader: BitReader, payload: bytes, count: int) -> np.ndarray:
-        with span("compressor.stage.decode", codec=self.name, entropy=self.entropy):
+    def _decode_stream(self, reader: BitReader, payload: bytes, clock: StageClock):
+        """Read the entropy model; return an incremental ``take(count)``."""
+        with clock("decode"):
             if self.entropy == "range":
-                from repro.encoding.range_coder import range_decode
+                from repro.encoding.range_coder import RangeDecoder
 
                 n_present = reader.read_elias_gamma() - 1
                 present = reader.read_uint_array(n_present, _SYMBOL_BITS).astype(np.int64)
@@ -161,30 +217,25 @@ class SZ3Compressor(LossyCompressor):
                                   dtype=np.int64)
                 freq = np.zeros(_ALPHABET, dtype=np.int64)
                 freq[present] = counts
-                return range_decode(payload, freq, count)
+                return RangeDecoder(freq, payload).decode
             n_present = reader.read_elias_gamma() - 1
             present = reader.read_uint_array(n_present, _SYMBOL_BITS).astype(np.int64)
             plens = reader.read_uint_array(n_present, 6).astype(np.int64)
             lengths = np.zeros(_ALPHABET, dtype=np.int64)
             lengths[present] = plens
             codec = HuffmanCodec.from_lengths(lengths)
-            return codec.decode(BitReader(lz77_decompress(payload)), count)
+            return codec.stream_decoder(BitReader(lz77_decompress(payload))).take
 
     # -- interpolation mode ------------------------------------------------
 
-    def _compress_interp(self, data: np.ndarray, eb: float) -> tuple[bytes, dict]:
-        step = quantization_step(eb)
-        shape = data.shape
-        levels = _anchor_level(shape)
-        stride = 1 << levels
-        recon = np.zeros_like(data)
-        anchor_slicer = tuple(slice(0, None, stride) for _ in shape)
-        anchors = data[anchor_slicer].astype(np.float64)
-        recon[anchor_slicer] = anchors
+    def _tile_rows(self, rest: int) -> int:
+        """Mid rows (or slab planes) per tile for a given row size."""
+        return max(1, self.tile_symbols // max(rest, 1))
 
-        codes: list[np.ndarray] = []
-        outliers: list[np.ndarray] = []
-        for axis, s, h in _interp_passes(shape, levels):
+    def _interp_scan(self, data: np.ndarray, recon: np.ndarray, step: float,
+                     levels: int, clock: StageClock, outliers: list):
+        """Phase 1: build ``recon`` tile by tile, yielding symbol tiles."""
+        for axis, s, h in _interp_passes(data.shape, levels):
             sub = _pass_subgrid(recon, axis, s, h)
             if sub is None:
                 continue
@@ -196,38 +247,101 @@ class SZ3Compressor(LossyCompressor):
                 axis,
                 0,
             )
-            with span("compressor.stage.predict", codec=self.name, axis=axis, stride=s):
-                mids, pred = _predict(sub, h, s)
-            with span("compressor.stage.quantize", codec=self.name, axis=axis, stride=s):
-                vals = orig[mids]
-                q = np.rint((vals - pred) / step)
-                bad = np.abs(q) > _RADIUS
-                q = np.clip(q, -_RADIUS, _RADIUS).astype(np.int64)
-                rec = pred + q * step
-                if bad.any():
-                    rec = np.where(bad, vals, rec)
-                    outliers.append(vals[bad].ravel())
-                sub[mids] = rec
-                sym = q + _OFFSET
-                sym[bad] = _OUTLIER
-                codes.append(sym.ravel())
+            mids_all = np.arange(h, sub.shape[0], s)
+            rows = self._tile_rows(int(np.prod(sub.shape[1:], dtype=np.int64)))
+            for m0 in range(0, mids_all.size, rows):
+                mids = mids_all[m0 : m0 + rows]
+                with clock("predict"):
+                    pred = _predict_at(sub, mids, h)
+                with clock("quantize"):
+                    vals = orig[mids]
+                    q = np.rint((vals - pred) / step)
+                    bad = np.abs(q) > _RADIUS
+                    q = np.clip(q, -_RADIUS, _RADIUS).astype(np.int64)
+                    rec = pred + q * step
+                    if bad.any():
+                        rec = np.where(bad, vals, rec)
+                        outliers.append(vals[bad].ravel())
+                    sub[mids] = rec
+                    sym = q + _OFFSET
+                    sym[bad] = _OUTLIER
+                yield sym.ravel()
 
-        symbols = np.concatenate(codes) if codes else np.zeros(0, dtype=np.int64)
+    def _interp_emit(self, data: np.ndarray, recon: np.ndarray, step: float,
+                     levels: int, clock: StageClock):
+        """Phase 2: regenerate the same symbol tiles from the final recon.
+
+        Every grid point is reconstructed exactly once across the
+        traversal, and each pass's spline stencil reads only points
+        reconstructed in *earlier* passes — so the finished ``recon``
+        still holds each stencil's pass-time values, and re-predicting
+        from it reproduces phase 1's symbols without a second writeback.
+        """
+        for axis, s, h in _interp_passes(data.shape, levels):
+            sub = _pass_subgrid(recon, axis, s, h)
+            if sub is None:
+                continue
+            orig = np.moveaxis(
+                data[tuple(
+                    slice(None) if a == axis else slice(0, None, h if a < axis else s)
+                    for a in range(data.ndim)
+                )],
+                axis,
+                0,
+            )
+            mids_all = np.arange(h, sub.shape[0], s)
+            rows = self._tile_rows(int(np.prod(sub.shape[1:], dtype=np.int64)))
+            for m0 in range(0, mids_all.size, rows):
+                mids = mids_all[m0 : m0 + rows]
+                with clock("predict"):
+                    pred = _predict_at(sub, mids, h)
+                with clock("quantize"):
+                    vals = orig[mids]
+                    q = np.rint((vals - pred) / step)
+                    bad = np.abs(q) > _RADIUS
+                    sym = np.clip(q, -_RADIUS, _RADIUS).astype(np.int64) + _OFFSET
+                    sym[bad] = _OUTLIER
+                yield sym.ravel()
+
+    def _compress_interp(self, data: np.ndarray, eb: float) -> tuple[bytes, dict]:
+        step = quantization_step(eb)
+        shape = data.shape
+        levels = _anchor_level(shape)
+        stride = 1 << levels
+        clock = StageClock("compressor.stage", codec=self.name, entropy=self.entropy)
+        recon = np.zeros_like(data)
+        anchor_slicer = tuple(slice(0, None, stride) for _ in shape)
+        anchors = data[anchor_slicer].astype(np.float64)
+        recon[anchor_slicer] = anchors
+
+        freq = np.zeros(_ALPHABET, dtype=np.int64)
+        outliers: list[np.ndarray] = []
+        n_codes = 0
+        n_tiles = 0
+        for sym in self._interp_scan(data, recon, step, levels, clock, outliers):
+            n_tiles += 1
+            n_codes += sym.size
+            with clock("encode"):
+                freq += np.bincount(sym, minlength=_ALPHABET)
+
         writer = BitWriter()
-        writer.write_uint_array(anchors.ravel().view(np.uint64), 64)
+        writer.write_packed(pack_uint_array(anchors.ravel().view(np.uint64), 64))
         out_vals = np.concatenate(outliers) if outliers else np.zeros(0, dtype=np.float64)
-        writer.write_uint_array(out_vals.view(np.uint64), 64)
-        if symbols.size:
-            lz = self._encode_codes(symbols, writer)
+        writer.write_packed(pack_uint_array(out_vals.view(np.uint64), 64))
+        if n_codes:
+            lz = self._encode_stream(
+                freq, self._interp_emit(data, recon, step, levels, clock), writer, clock
+            )
         else:
             lz = b""
         head = writer.getvalue()
         payload = len(head).to_bytes(8, "little") + head + lz
+        clock.emit(tiles=n_tiles, n_symbols=n_codes)
         return payload, {
             "mode": "interp",
             "entropy": self.entropy,
             "levels": levels,
-            "n_codes": int(symbols.size),
+            "n_codes": n_codes,
             "n_outliers": int(out_vals.size),
             "n_anchors": int(anchors.size),
         }
@@ -240,72 +354,110 @@ class SZ3Compressor(LossyCompressor):
         n_codes = int(metadata["n_codes"])
         n_out = int(metadata["n_outliers"])
         n_anchors = int(metadata["n_anchors"])
+        clock = StageClock("compressor.stage", codec=self.name, entropy=self.entropy)
 
         head_len = int.from_bytes(payload[:8], "little")
         reader = BitReader(payload[8 : 8 + head_len])
         lz = payload[8 + head_len :]
         anchors = reader.read_uint_array(n_anchors, 64).view(np.float64)
         out_vals = reader.read_uint_array(n_out, 64).view(np.float64)
-        symbols = (
-            self._decode_codes(reader, lz, n_codes) if n_codes else np.zeros(0, dtype=np.int64)
-        )
+        take = self._decode_stream(reader, lz, clock) if n_codes else None
 
         recon = np.zeros(shape, dtype=np.float64)
         stride = 1 << levels
         anchor_slicer = tuple(slice(0, None, stride) for _ in shape)
         recon[anchor_slicer] = anchors.reshape(recon[anchor_slicer].shape)
 
-        pos = 0
         out_pos = 0
+        n_tiles = 0
         for axis, s, h in _interp_passes(shape, levels):
             sub = _pass_subgrid(recon, axis, s, h)
             if sub is None:
                 continue
-            with span("compressor.stage.predict", codec=self.name, axis=axis, stride=s):
-                mids, pred = _predict(sub, h, s)
-            count = pred.size
-            sym = symbols[pos : pos + count].reshape(pred.shape)
-            pos += count
-            bad = sym == _OUTLIER
-            q = sym.astype(np.float64) - _OFFSET
-            rec = pred + q * step
-            n_bad = int(bad.sum())
-            if n_bad:
-                rec[bad] = out_vals[out_pos : out_pos + n_bad]
-                out_pos += n_bad
-            sub[mids] = rec
+            mids_all = np.arange(h, sub.shape[0], s)
+            rows = self._tile_rows(int(np.prod(sub.shape[1:], dtype=np.int64)))
+            for m0 in range(0, mids_all.size, rows):
+                mids = mids_all[m0 : m0 + rows]
+                n_tiles += 1
+                with clock("predict"):
+                    pred = _predict_at(sub, mids, h)
+                with clock("decode"):
+                    sym = take(pred.size).reshape(pred.shape)
+                    bad = sym == _OUTLIER
+                    q = sym.astype(np.float64) - _OFFSET
+                    rec = pred + q * step
+                    n_bad = int(bad.sum())
+                    if n_bad:
+                        rec[bad] = out_vals[out_pos : out_pos + n_bad]
+                        out_pos += n_bad
+                    sub[mids] = rec
+        clock.emit(tiles=n_tiles)
         return recon
 
     # -- Lorenzo mode (cuSZ-style decoupled) --------------------------------
 
+    def _lorenzo_stream(self, data: np.ndarray, step: float, clock: StageClock,
+                        out_list: list | None = None):
+        """Yield symbol tiles for axis-0 slabs of the Lorenzo transform.
+
+        The per-axis integer difference operators commute, so each slab
+        applies the trailing-axis diffs locally and the axis-0 diff
+        against the previous slab's pre-diff boundary plane — identical
+        int64 results (wraparound included) to a whole-array transform.
+        """
+        shape = data.shape
+        rows = self._tile_rows(int(np.prod(shape[1:], dtype=np.int64)))
+        carry = np.zeros((1,) + shape[1:], dtype=np.int64)
+        for r0 in range(0, shape[0], rows):
+            r1 = min(r0 + rows, shape[0])
+            with clock("quantize"):
+                qv = np.rint(data[r0:r1] / step)
+                bad = np.abs(qv) >= 2**52  # beyond exact float integer range
+                if bad.any():
+                    raise ValueError("error bound too small relative to data magnitude")
+                qv = qv.astype(np.int64)
+            with clock("predict"):
+                d = qv
+                for axis in range(1, d.ndim):
+                    d = np.diff(d, axis=axis, prepend=0)
+                boundary = d[-1:].copy()
+                res = np.diff(d, axis=0, prepend=carry)
+                carry = boundary
+                clipped = np.clip(res, -_RADIUS, _RADIUS)
+                outlier_mask = clipped != res
+                sym = (clipped + _OFFSET).astype(np.int64).ravel()
+                sym[outlier_mask.ravel()] = _OUTLIER
+                if out_list is not None and outlier_mask.any():
+                    out_list.append(res[outlier_mask].astype(np.int64))
+            yield sym
+
     def _compress_lorenzo(self, data: np.ndarray, eb: float) -> tuple[bytes, dict]:
         step = quantization_step(eb)
-        with span("compressor.stage.quantize", codec=self.name, mode="lorenzo"):
-            qv = np.rint(data / step)
-            bad = np.abs(qv) >= 2**52  # beyond exact float integer range
-            if bad.any():
-                raise ValueError("error bound too small relative to data magnitude")
-            qv = qv.astype(np.int64)
-        with span("compressor.stage.predict", codec=self.name, mode="lorenzo"):
-            res = qv.copy()
-            for axis in range(res.ndim):
-                res = np.diff(res, axis=axis, prepend=0)
-            clipped = np.clip(res, -_RADIUS, _RADIUS)
-            outlier_mask = clipped != res
-            sym = (clipped + _OFFSET).astype(np.int64).ravel()
-            sym[outlier_mask.ravel()] = _OUTLIER
-            out_res = res[outlier_mask].astype(np.int64)
+        clock = StageClock("compressor.stage", codec=self.name, entropy=self.entropy)
+        freq = np.zeros(_ALPHABET, dtype=np.int64)
+        out_list: list[np.ndarray] = []
+        n_codes = 0
+        n_tiles = 0
+        for sym in self._lorenzo_stream(data, step, clock, out_list):
+            n_tiles += 1
+            n_codes += sym.size
+            with clock("encode"):
+                freq += np.bincount(sym, minlength=_ALPHABET)
 
         writer = BitWriter()
         # Outlier residuals stored as 64-bit two's complement.
-        writer.write_uint_array(out_res.view(np.uint64), 64)
-        lz = self._encode_codes(sym, writer)
+        out_res = np.concatenate(out_list) if out_list else np.zeros(0, dtype=np.int64)
+        writer.write_packed(pack_uint_array(out_res.view(np.uint64), 64))
+        lz = self._encode_stream(
+            freq, self._lorenzo_stream(data, step, clock), writer, clock
+        )
         head = writer.getvalue()
         payload = len(head).to_bytes(8, "little") + head + lz
+        clock.emit(tiles=n_tiles, n_symbols=n_codes)
         return payload, {
             "mode": "lorenzo",
             "entropy": self.entropy,
-            "n_codes": int(sym.size),
+            "n_codes": n_codes,
             "n_outliers": int(out_res.size),
         }
 
@@ -315,20 +467,39 @@ class SZ3Compressor(LossyCompressor):
         step = quantization_step(eb)
         n_codes = int(metadata["n_codes"])
         n_out = int(metadata["n_outliers"])
+        clock = StageClock("compressor.stage", codec=self.name, entropy=self.entropy)
 
         head_len = int.from_bytes(payload[:8], "little")
         reader = BitReader(payload[8 : 8 + head_len])
         lz = payload[8 + head_len :]
         out_res = reader.read_uint_array(n_out, 64).view(np.int64)
-        symbols = self._decode_codes(reader, lz, n_codes)
+        take = self._decode_stream(reader, lz, clock)
 
-        res = symbols.astype(np.int64) - _OFFSET
-        bad = symbols == _OUTLIER
-        res[bad] = out_res
-        res = res.reshape(shape)
-        for axis in range(res.ndim - 1, -1, -1):
-            res = np.cumsum(res, axis=axis)
-        return res.astype(np.float64) * step
+        out = np.empty(shape, dtype=np.float64)
+        rows = self._tile_rows(int(np.prod(shape[1:], dtype=np.int64)))
+        carry = np.zeros((1,) + shape[1:], dtype=np.int64)
+        out_pos = 0
+        n_tiles = 0
+        for r0 in range(0, shape[0], rows):
+            r1 = min(r0 + rows, shape[0])
+            n_tiles += 1
+            with clock("decode"):
+                count = (r1 - r0) * int(np.prod(shape[1:], dtype=np.int64))
+                symbols = take(count)
+                res = symbols.astype(np.int64) - _OFFSET
+                bad = symbols == _OUTLIER
+                n_bad = int(bad.sum())
+                if n_bad:
+                    res[bad] = out_res[out_pos : out_pos + n_bad]
+                    out_pos += n_bad
+                res = res.reshape((r1 - r0,) + shape[1:])
+                for axis in range(res.ndim - 1, 0, -1):
+                    res = np.cumsum(res, axis=axis)
+                res = np.cumsum(res, axis=0) + carry
+                carry = res[-1:].copy()
+                out[r0:r1] = res.astype(np.float64) * step
+        clock.emit(tiles=n_tiles)
+        return out
 
     # -- dispatch -----------------------------------------------------------
 

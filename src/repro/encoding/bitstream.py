@@ -5,6 +5,18 @@ a per-bit Python loop would dominate compression time. The writer therefore
 buffers *numpy bool chunks* and only packs to bytes once, and both writer and
 reader expose bulk array operations (``write_bit_array``,
 ``write_uint_array``, ``read_bit_array``) so hot paths stay vectorized.
+
+The fused tile-streamed compressor pipelines add a second chunk kind: a
+*packed* chunk is ``(uint8 array, bit count)`` — already byte-packed bits,
+possibly ending mid-byte. Tiles produce packed chunks with
+:func:`pack_uint_array` (an ``np.unpackbits`` byte-view pack, several times
+faster than the bit-broadcast of :meth:`BitWriter.write_uint_array`) and
+append them with :meth:`BitWriter.write_packed`; :meth:`BitWriter.compact`
+folds everything written so far into one packed chunk, which is what bounds
+a long-running writer's memory to roughly its *output* size (a bool chunk
+costs 8x its packed form). :meth:`BitWriter.getvalue` shift-merges the
+mixed chunk list in one vectorized pass per chunk, so per-tile appends
+compose into exactly the stream a whole-array write would have produced.
 """
 
 from __future__ import annotations
@@ -12,6 +24,56 @@ from __future__ import annotations
 import numpy as np
 
 _BOOL = np.bool_
+
+
+class _Packed:
+    """Byte-packed bit run: ``data`` holds ``nbits`` bits MSB-first, zero
+    padding after the last bit (enforced by the constructor)."""
+
+    __slots__ = ("data", "nbits")
+
+    def __init__(self, data: np.ndarray, nbits: int) -> None:
+        nbytes = (nbits + 7) // 8
+        data = data[:nbytes]
+        tail = nbits & 7
+        if tail and nbytes:
+            data = data.copy()
+            data[-1] &= np.uint8((0xFF << (8 - tail)) & 0xFF)
+        self.data = data
+        self.nbits = nbits
+
+
+def _container_dtype(nbits: int) -> tuple[str, int]:
+    """Smallest big-endian uint dtype holding an ``nbits``-bit value."""
+    if nbits <= 8:
+        return ">u1", 8
+    if nbits <= 16:
+        return ">u2", 16
+    if nbits <= 32:
+        return ">u4", 32
+    return ">u8", 64
+
+
+def pack_uint_array(values: np.ndarray, nbits: int) -> _Packed:
+    """Pack each value to a fixed ``nbits``-bit MSB-first field.
+
+    The bit-for-bit equivalent of :meth:`BitWriter.write_uint_array`, built
+    for the fused tile loops: values are viewed as big-endian bytes,
+    ``np.unpackbits`` expands them, and the leading container padding is
+    sliced off — byte traffic proportional to the container width instead
+    of one bool (1 byte) per output *bit*.
+    """
+    values = np.asarray(values, dtype=np.uint64).ravel()
+    if nbits <= 0 or values.size == 0:
+        return _Packed(np.zeros(0, dtype=np.uint8), 0)
+    if nbits > 64:
+        raise ValueError("nbits must be <= 64")
+    dtype, cbits = _container_dtype(nbits)
+    bits = np.unpackbits(
+        values.astype(dtype).view(np.uint8).reshape(values.size, cbits // 8), axis=1
+    )
+    field = bits[:, cbits - nbits :].ravel()
+    return _Packed(np.packbits(field), values.size * nbits)
 
 
 def window_values(bits: np.ndarray, width: int) -> np.ndarray:
@@ -40,10 +102,16 @@ def window_values(bits: np.ndarray, width: int) -> np.ndarray:
 
 
 class BitWriter:
-    """Accumulates bits MSB-first and packs them into bytes on demand."""
+    """Accumulates bits MSB-first and packs them into bytes on demand.
+
+    Chunks are either numpy bool arrays (one element per bit, from the
+    ``write_*`` methods) or :class:`_Packed` runs (already byte-packed,
+    from :meth:`write_packed` / :meth:`compact`); :meth:`getvalue`
+    shift-merges the mixed list into one stream.
+    """
 
     def __init__(self) -> None:
-        self._chunks: list[np.ndarray] = []
+        self._chunks: list = []
         self._nbits = 0
 
     @property
@@ -137,22 +205,90 @@ class BitWriter:
         if nbits > 1:
             self.write_bits(value - (1 << (nbits - 1)), nbits - 1)
 
+    def write_packed(self, packed: _Packed) -> None:
+        """Append a :class:`_Packed` run (see :func:`pack_uint_array`)."""
+        if packed.nbits:
+            self._chunks.append(packed)
+            self._nbits += packed.nbits
+
     def extend(self, other: "BitWriter") -> None:
         """Append all bits from another writer (no byte alignment)."""
         self._chunks.extend(other._chunks)
         self._nbits += other._nbits
 
+    def compact(self) -> None:
+        """Fold everything written so far into one packed chunk.
+
+        A bool chunk costs one byte per *bit*; compacting after each tile
+        is what bounds a fused pipeline's writer memory to roughly the
+        size of its eventual output stream.
+        """
+        if len(self._chunks) <= 1 and (
+            not self._chunks or isinstance(self._chunks[0], _Packed)
+        ):
+            return
+        self._chunks = [_Packed(self._merged(), self._nbits)]
+
+    def _entries(self):
+        """Yield the chunk list as ``(uint8 array, nbits)`` packed runs,
+        packing each run of consecutive bool chunks in one pass."""
+        run: list[np.ndarray] = []
+        for chunk in self._chunks:
+            if isinstance(chunk, _Packed):
+                if run:
+                    arr = run[0] if len(run) == 1 else np.concatenate(run)
+                    run = []
+                    yield np.packbits(arr), arr.size
+                yield chunk.data, chunk.nbits
+            else:
+                run.append(chunk)
+        if run:
+            arr = run[0] if len(run) == 1 else np.concatenate(run)
+            yield np.packbits(arr), arr.size
+
+    def _merged(self) -> np.ndarray:
+        """Shift-merge all chunks into one zero-padded uint8 array.
+
+        Each packed run lands with two vectorized ORs: its bytes shifted
+        down by the current bit offset, and the spilled low bits into the
+        following byte — so per-tile packed appends cost O(bytes), not
+        O(bits).
+        """
+        nbytes = (self._nbits + 7) // 8
+        out = np.zeros(nbytes + 1, dtype=np.uint8)  # +1: shift spill scratch
+        pos = 0
+        for data, nbits in self._entries():
+            if not nbits:
+                continue
+            nb = data.size
+            k = pos & 7
+            byte0 = pos >> 3
+            if k == 0:
+                out[byte0 : byte0 + nb] |= data
+            else:
+                out[byte0 : byte0 + nb] |= data >> k
+                spill = ((data.astype(np.uint16) << (8 - k)) & 0xFF).astype(np.uint8)
+                out[byte0 + 1 : byte0 + 1 + nb] |= spill
+            pos += nbits
+        return out[:nbytes]
+
     def bits(self) -> np.ndarray:
         """Return the raw bit array (bool), without byte padding."""
         if not self._chunks:
             return np.zeros(0, dtype=_BOOL)
-        if len(self._chunks) > 1:
-            self._chunks = [np.concatenate(self._chunks)]
+        if len(self._chunks) > 1 or isinstance(self._chunks[0], _Packed):
+            parts = [
+                np.unpackbits(c.data, count=c.nbits).astype(_BOOL)
+                if isinstance(c, _Packed)
+                else c
+                for c in self._chunks
+            ]
+            self._chunks = [parts[0] if len(parts) == 1 else np.concatenate(parts)]
         return self._chunks[0]
 
     def getvalue(self) -> bytes:
         """Pack the accumulated bits to bytes (MSB-first, zero padded)."""
-        return np.packbits(self.bits().view(np.uint8)).tobytes()
+        return self._merged().tobytes()
 
 
 class BitReader:
@@ -194,6 +330,20 @@ class BitReader:
     def read_bit_array(self, count: int) -> np.ndarray:
         return self._take(count).copy()
 
+    def seek(self, pos: int) -> None:
+        """Move the read cursor to absolute bit position ``pos``.
+
+        Lets tiled decoders interleave reads from precomputed section
+        offsets (e.g. SZx width-grouped payloads) without slicing new
+        readers per section.
+        """
+        pos = int(pos)
+        if not 0 <= pos <= self._bits.size:
+            raise ValueError(
+                f"seek position {pos} outside bitstream of {self._bits.size} bits"
+            )
+        self._pos = pos
+
     def window_values(self, width: int) -> np.ndarray:
         """Window value at every remaining position (see :func:`window_values`).
 
@@ -205,9 +355,16 @@ class BitReader:
     def read_uint_array(self, count: int, nbits: int) -> np.ndarray:
         if count == 0 or nbits == 0:
             return np.zeros(count, dtype=np.uint64)
-        bits = self._take(count * nbits).astype(np.uint64).reshape(count, nbits)
-        shifts = np.arange(nbits - 1, -1, -1, dtype=np.uint64)
-        return (bits << shifts).sum(axis=1)
+        # Pack each row's bits to bytes and combine per-byte: ~8x less
+        # memory traffic than broadcasting one uint64 per bit. Fields are
+        # right-padded by packbits, so the shift floor drops the padding;
+        # byte ranges are disjoint, so the sum is an exact bitwise OR.
+        bits = self._take(count * nbits)
+        nb = (nbits + 7) // 8
+        packed = np.packbits(bits.reshape(count, nbits), axis=1)
+        shifts = np.arange(nb - 1, -1, -1, dtype=np.uint64) * np.uint64(8)
+        vals = (packed.astype(np.uint64) << shifts).sum(axis=1, dtype=np.uint64)
+        return vals >> np.uint64(8 * nb - nbits)
 
     def read_unary(self) -> int:
         rest = self._bits[self._pos :]

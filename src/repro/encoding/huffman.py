@@ -20,7 +20,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.encoding.bitstream import BitReader, BitWriter, window_values
+from repro.encoding.bitstream import (
+    BitReader,
+    BitWriter,
+    _Packed,
+    _container_dtype,
+    window_values,
+)
 
 _MAX_CODE_LEN = 48
 _TABLE_BITS = 16  # fast-decode lookup window
@@ -138,8 +144,17 @@ class HuffmanCodec:
             raise ValueError("symbols must be non-negative")
         default = symbols.max() + 1 if symbols.size else 1
         size = int(alphabet_size if alphabet_size is not None else default)
-        freq = np.bincount(symbols, minlength=size)
-        lengths = huffman_code_lengths(freq)
+        return cls.from_frequencies(np.bincount(symbols, minlength=size))
+
+    @classmethod
+    def from_frequencies(cls, frequencies: np.ndarray) -> "HuffmanCodec":
+        """Build the codec from a symbol histogram.
+
+        ``fit`` composed with per-tile ``np.bincount`` accumulation yields
+        exactly this call, so tiled pipelines that sum tile histograms get
+        the same codebook (hence the same bytes) as a whole-array ``fit``.
+        """
+        lengths = huffman_code_lengths(np.asarray(frequencies, dtype=np.int64))
         return cls(lengths=lengths, codes=canonical_codes(lengths))
 
     @classmethod
@@ -168,6 +183,44 @@ class HuffmanCodec:
             raise ValueError(f"symbol {bad} not in codebook")
         writer.write_varlen_uint_array(self.codes[symbols], lens)
 
+    def encode_packed(self, symbols: np.ndarray) -> _Packed:
+        """Byte-packed codes for ``symbols`` — bit-identical to
+        :meth:`encode`, built for fused tile loops.
+
+        Each symbol's code is expanded from a right-aligned big-endian
+        container via ``np.unpackbits`` and the live bits are selected
+        with one boolean mask (advanced indexing preserves row order, so
+        codes concatenate exactly as the per-symbol writer would emit
+        them). Cost scales with the container width, not with one bool
+        per output bit, which makes the entropy stage's packing several
+        times cheaper per tile.
+        """
+        symbols = np.asarray(symbols, dtype=np.int64).ravel()
+        if symbols.size == 0:
+            return _Packed(np.zeros(0, dtype=np.uint8), 0)
+        if symbols.min() < 0 or symbols.max() >= self.lengths.size:
+            raise ValueError("symbol outside codebook alphabet")
+        lens = self.lengths[symbols]
+        if (lens == 0).any():
+            bad = symbols[lens == 0][0]
+            raise ValueError(f"symbol {bad} not in codebook")
+        dtype, cbits = _container_dtype(int(lens.max()))
+        code_bits = np.unpackbits(
+            self.codes[symbols].astype(dtype).view(np.uint8).reshape(symbols.size, -1),
+            axis=1,
+        )
+        live = np.arange(cbits) >= (cbits - lens)[:, None]
+        return _Packed(np.packbits(code_bits[live]), int(lens.sum()))
+
+    def stream_decoder(self, reader: BitReader) -> "HuffmanStreamDecoder":
+        """A resumable decoder over ``reader``'s remaining bits.
+
+        Tiled pipelines call :meth:`HuffmanStreamDecoder.take` once per
+        tile; the window values are computed once for the whole stream,
+        so T takes cost the same total work as one bulk decode.
+        """
+        return HuffmanStreamDecoder(self, reader)
+
     def decode(self, reader: BitReader, count: int) -> np.ndarray:
         """Decode ``count`` symbols.
 
@@ -191,98 +244,10 @@ class HuffmanCodec:
         return self._decode_walk(reader, count)
 
     def _decode_table(self, reader: BitReader, count: int, max_len: int) -> np.ndarray:
-        """Batch prefix-table decode.
-
-        Phase 1 (scalar chase): the ``max_len``-bit window value at every
-        bit position comes from one vectorized :func:`window_values` pass;
-        the multi-symbol tables then turn each probed window into (number
-        of complete codes, total bit advance), so the data-dependent Python
-        loop runs once per *window*, not once per symbol — and it only
-        records probe positions, never touches symbols. Phase 2 (vectorized
-        emission): for ``k = 0, 1, ...`` the ``k``-th symbol of every probe
-        is gathered in one indexed lookup, so symbol extraction costs a few
-        numpy passes regardless of stream length.
-        """
-        sym_table, len_table = self._tables(max_len)
-        ns_tab, adv_tab = self._multi_tables(max_len)
-        bits = reader._bits[reader._pos :]
-        nbits = bits.size
-        vals = window_values(bits, max_len)
-        ns_at = ns_tab.tolist()
-        adv_at = adv_tab.tolist()
-        has_long = bool((self.lengths > max_len).any())
-
-        probes: list[int] = []  # bit position of each probe
-        long_marks: list[int] = []  # len(probes) when each long code was hit
-        long_sym: list[int] = []
-        final_emit = 0  # symbols the final partial probe actually emits
-        total = 0
-        pos = 0
-        window_at = vals.item
-        while total < count:
-            if pos > nbits:
-                raise EOFError("bitstream exhausted during Huffman decode")
-            window = window_at(pos)
-            ns = ns_at[window]
-            if ns == 0:
-                # First code in the window is longer than the window (or the
-                # stream is invalid) — resolve it canonically.
-                if not has_long:
-                    raise ValueError("invalid Huffman stream")
-                sym, length = self._decode_long(bits, nbits, pos, window, max_len)
-                long_marks.append(len(probes))
-                long_sym.append(sym)
-                total += 1
-                pos += length
-            elif total + ns >= count:
-                # Final probe: step symbol by symbol for the exact end bit.
-                probes.append(pos)
-                final_emit = count - total
-                while True:
-                    pos += int(len_table.item(window))
-                    total += 1
-                    if total == count:
-                        break
-                    if pos > nbits:
-                        raise EOFError("bitstream exhausted during Huffman decode")
-                    window = window_at(pos)
-            else:
-                probes.append(pos)
-                total += ns
-                pos += adv_at[window]
-        if pos > nbits:
-            raise EOFError("bitstream exhausted during Huffman decode")
-        reader._pos += pos
-
-        # Per-probe emit counts and output bases are reconstructed here
-        # instead of being appended inside the chase loop: the table lookup
-        # that produced each probe's ``ns`` is replayed as one gather, and
-        # long-coded symbols (recorded as "after probe m") shift the bases
-        # of every later probe.
-        out = np.empty(count, dtype=np.int64)
-        ends = np.zeros(0, dtype=np.int64)
-        if probes:
-            probe_pos = np.array(probes, dtype=np.int64)
-            emit = ns_tab[vals[probe_pos]]
-            if final_emit:
-                emit[-1] = final_emit
-            ends = np.cumsum(emit)
-            base = ends - emit
-            if long_marks:
-                marks = np.array(long_marks, dtype=np.int64)
-                base += np.searchsorted(marks, np.arange(probe_pos.size), side="right")
-            cursor = probe_pos.copy()
-            for k in range(int(emit.max())):
-                sel = np.flatnonzero(emit > k)
-                windows = vals[cursor[sel]]
-                out[base[sel] + k] = sym_table[windows]
-                cursor[sel] += len_table[windows]
-        if long_sym:
-            marks = np.array(long_marks, dtype=np.int64)
-            probe_cum = np.concatenate(([0], ends))
-            long_at = probe_cum[marks] + np.arange(marks.size)
-            out[long_at] = np.array(long_sym, dtype=np.int64)
-        return out
+        """Batch prefix-table decode (one-shot wrapper around the
+        resumable :class:`HuffmanStreamDecoder`, which holds the actual
+        chase/emission machinery)."""
+        return HuffmanStreamDecoder(self, reader, max_len=max_len).take(count)
 
     def _multi_tables(self, max_len: int) -> tuple[np.ndarray, np.ndarray]:
         """Per-window (symbol count, bit advance) for whole-window probes.
@@ -423,3 +388,134 @@ class HuffmanCodec:
         size = reader.read_elias_gamma() - 1
         lengths = reader.read_uint_array(size, 6).astype(np.int64)
         return cls.from_lengths(lengths)
+
+
+class HuffmanStreamDecoder:
+    """Resumable table-driven decoder over one reader's remaining bits.
+
+    Phase 1 (scalar chase): the ``max_len``-bit window value at every bit
+    position comes from one vectorized :func:`window_values` pass over the
+    *whole* remaining stream, done once at construction; the multi-symbol
+    tables then turn each probed window into (number of complete codes,
+    total bit advance), so the data-dependent Python loop runs once per
+    *window*, not once per symbol — and it only records probe positions,
+    never touches symbols. Phase 2 (vectorized emission): for ``k = 0, 1,
+    ...`` the ``k``-th symbol of every probe is gathered in one indexed
+    lookup, so symbol extraction costs a few numpy passes regardless of
+    stream length.
+
+    :meth:`take` runs one chase+emission pass from the saved position and
+    leaves the cursor (and the underlying reader) exactly after the last
+    decoded code, so tiled decoders can pull symbols tile by tile — T
+    takes cost the same total chase work as one bulk decode, with no
+    full-stream symbol array ever materialized.
+    """
+
+    def __init__(
+        self, codec: HuffmanCodec, reader: BitReader, max_len: int | None = None
+    ) -> None:
+        self._reader = reader
+        lengths = codec.lengths
+        present = np.flatnonzero(lengths > 0)
+        self._empty = present.size == 0
+        if self._empty:
+            return
+        if max_len is None:
+            max_len = min(int(lengths[present].max()), _TABLE_BITS)
+        self._sym_table, self._len_table = codec._tables(max_len)
+        self._ns_tab, self._adv_tab = codec._multi_tables(max_len)
+        self._ns_at = self._ns_tab.tolist()
+        self._adv_at = self._adv_tab.tolist()
+        self._codec = codec
+        self._max_len = max_len
+        self._bits = reader._bits[reader._pos :]
+        self._nbits = self._bits.size
+        self._vals = window_values(self._bits, max_len)
+        self._has_long = bool((lengths > max_len).any())
+        self._pos = 0  # bit cursor relative to the construction position
+
+    def take(self, count: int) -> np.ndarray:
+        """Decode the next ``count`` symbols and advance the cursor."""
+        count = int(count)
+        if count == 0:
+            return np.zeros(0, dtype=np.int64)
+        if self._empty:
+            raise ValueError("cannot decode with an empty codebook")
+        bits, nbits, vals = self._bits, self._nbits, self._vals
+        sym_table, len_table = self._sym_table, self._len_table
+        ns_at, adv_at = self._ns_at, self._adv_at
+        max_len, has_long = self._max_len, self._has_long
+
+        probes: list[int] = []  # bit position of each probe
+        long_marks: list[int] = []  # len(probes) when each long code was hit
+        long_sym: list[int] = []
+        final_emit = 0  # symbols the final partial probe actually emits
+        total = 0
+        start = self._pos
+        pos = start
+        window_at = vals.item
+        while total < count:
+            if pos > nbits:
+                raise EOFError("bitstream exhausted during Huffman decode")
+            window = window_at(pos)
+            ns = ns_at[window]
+            if ns == 0:
+                # First code in the window is longer than the window (or the
+                # stream is invalid) — resolve it canonically.
+                if not has_long:
+                    raise ValueError("invalid Huffman stream")
+                sym, length = self._codec._decode_long(bits, nbits, pos, window, max_len)
+                long_marks.append(len(probes))
+                long_sym.append(sym)
+                total += 1
+                pos += length
+            elif total + ns >= count:
+                # Final probe: step symbol by symbol for the exact end bit.
+                probes.append(pos)
+                final_emit = count - total
+                while True:
+                    pos += int(len_table.item(window))
+                    total += 1
+                    if total == count:
+                        break
+                    if pos > nbits:
+                        raise EOFError("bitstream exhausted during Huffman decode")
+                    window = window_at(pos)
+            else:
+                probes.append(pos)
+                total += ns
+                pos += adv_at[window]
+        if pos > nbits:
+            raise EOFError("bitstream exhausted during Huffman decode")
+        self._pos = pos
+        self._reader._pos += pos - start
+
+        # Per-probe emit counts and output bases are reconstructed here
+        # instead of being appended inside the chase loop: the table lookup
+        # that produced each probe's ``ns`` is replayed as one gather, and
+        # long-coded symbols (recorded as "after probe m") shift the bases
+        # of every later probe.
+        out = np.empty(count, dtype=np.int64)
+        ends = np.zeros(0, dtype=np.int64)
+        if probes:
+            probe_pos = np.array(probes, dtype=np.int64)
+            emit = self._ns_tab[vals[probe_pos]]
+            if final_emit:
+                emit[-1] = final_emit
+            ends = np.cumsum(emit)
+            base = ends - emit
+            if long_marks:
+                marks = np.array(long_marks, dtype=np.int64)
+                base += np.searchsorted(marks, np.arange(probe_pos.size), side="right")
+            cursor = probe_pos.copy()
+            for k in range(int(emit.max())):
+                sel = np.flatnonzero(emit > k)
+                windows = vals[cursor[sel]]
+                out[base[sel] + k] = sym_table[windows]
+                cursor[sel] += len_table[windows]
+        if long_sym:
+            marks = np.array(long_marks, dtype=np.int64)
+            probe_cum = np.concatenate(([0], ends))
+            long_at = probe_cum[marks] + np.arange(marks.size)
+            out[long_at] = np.array(long_sym, dtype=np.int64)
+        return out

@@ -42,10 +42,12 @@ from repro.obs.metrics import (
 from repro.obs.summary import StageStats, aggregate, format_summary
 from repro.obs.trace import (
     Span,
+    StageClock,
     TraceRecorder,
     capture,
     disable,
     enable,
+    emit_span,
     enabled,
     export_trace,
     get_recorder,
@@ -56,9 +58,11 @@ from repro.obs.trace import (
 
 __all__ = [
     "Span",
+    "StageClock",
     "TraceRecorder",
     "span",
     "timed_span",
+    "emit_span",
     "enable",
     "disable",
     "enabled",

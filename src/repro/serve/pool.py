@@ -100,6 +100,12 @@ class PoolTask:
             pool._recycle_executor()
             return pool._run_inline(self._fn, self._args, fallback=True)
 
+    def done(self) -> bool:
+        """Whether :meth:`result` would return without blocking.
+        Deferred in-process tasks (``n_workers=0`` or submit-time
+        fallback) are always ready — they run at collection time."""
+        return self._future is None or self._future.done()
+
     def cancel(self) -> None:
         """Best-effort cancellation of a task whose result is no longer
         wanted (a closed stream); a task already running just runs."""

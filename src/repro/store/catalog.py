@@ -27,7 +27,12 @@ resources injected. On top of the request stream the catalog can layer a
 (``CatalogOptions(prefetch_depth=...)``): sequential and strided scans
 are detected per key and predicted next chunks are decoded into the
 shared LRU after each request, so the next request (streamed or not)
-hits cache instead of disk.
+hits cache instead of disk. When a decode pool is attached, those hint
+decodes are *submitted* to idle worker slots instead of running inline:
+the request that triggered them returns immediately and the decoded
+chunks are harvested into the cache before the next request is served
+(or whenever stats are read) — read-ahead overlaps caller think-time
+without ever blocking a request on it.
 
 Manifests load lazily: registration and scanning only record paths;
 a store's file is opened (and its manifest parsed) the first time that
@@ -165,6 +170,10 @@ class StoreCatalog:
         self.prefetcher: Prefetcher | None = None
         self._prefetch_lock = threading.Lock()
         self._prefetch_pending: set = set()  # issued cache keys not yet consumed
+        # Hint decodes running on the pool, not yet admitted to the cache:
+        # (key, reader, coords, cache_key, PoolTask) records, harvested
+        # opportunistically (see _harvest_hints).
+        self._prefetch_inflight: list = []
         self._prefetch_issued = 0
         self._prefetch_hits = 0
         self._prefetch_wasted = 0
@@ -340,7 +349,10 @@ class StoreCatalog:
         issued chunk this request covers is a **hit** if still resident
         (the read about to happen consumes it from cache) and **wasted**
         if the LRU already dropped it; issued chunks outside the request
-        stay pending unless evicted."""
+        stay pending unless evicted. Async hint decodes that have
+        finished by now are admitted first, so the request sees every
+        chunk prefetch managed to land."""
+        self._harvest_hints()
         request = {
             reader._cache_key(chunk.coords)
             for chunk in reader.grid.chunks_intersecting(region)
@@ -367,14 +379,20 @@ class StoreCatalog:
             key, [c.index for c in chunks], reader.n_chunks
         )
         for chunk_id in hints:
-            self._issue_hint(reader, chunk_id)
+            self._issue_hint(key, reader, chunk_id)
 
-    def _issue_hint(self, reader: StoreReader, chunk_id: int) -> None:
+    def _issue_hint(self, key: str, reader: StoreReader, chunk_id: int) -> None:
         """Decode one predicted chunk into the shared cache. Best-effort:
         an unhelpful hint (cache disabled, chunk already resident, chunk
         too big to admit, or a fetch/decode failure) is simply skipped —
         prefetch must never fail or slow a request stream, and a corrupt
-        chunk stays the *read* path's error to raise."""
+        chunk stays the *read* path's error to raise.
+
+        With a decode pool attached, the payload is fetched inline (file
+        I/O is serialized on the reader anyway) but the CPU-bound decode
+        is submitted to an idle worker slot and harvested later
+        (:meth:`_harvest_hints`) — read-ahead overlaps with whatever the
+        caller does next instead of stretching its request."""
         from repro.store.reader import decode_chunk
 
         chunk = reader.grid.chunk(int(chunk_id))
@@ -384,19 +402,66 @@ class StoreCatalog:
         try:
             entry = reader.chunk_entry(chunk.coords)
             payload = reader.fetch_payload(entry)
+        except Exception:
+            return
+        if self.pool is not None:
+            task = self.pool.submit(
+                decode_chunk, reader.compressor, entry, payload, reader.verify
+            )
+            with self._prefetch_lock:
+                self._prefetch_inflight.append(
+                    (key, reader, chunk.coords, cache_key, task)
+                )
+            return
+        try:
             data = decode_chunk(reader.compressor, entry, payload, reader.verify)
         except Exception:
             return
-        if not reader._cache_put(chunk.coords, data):
+        self._admit_hint(key, reader, chunk.coords, cache_key, data)
+
+    def _admit_hint(self, key: str, reader: StoreReader,
+                    coords: tuple[int, ...], cache_key, data) -> None:
+        """Admit one decoded hint chunk to the shared cache and count it
+        as issued. A hint whose reader was retired (the key re-pointed
+        while the decode ran) is dropped — its cache scope is already
+        evicted and its bytes belong to the old store; counting only
+        *admitted* hints keeps ``issued >= hits + wasted`` exact."""
+        with self._lock:
+            current = self._readers.get(key) is reader
+        if not current or not reader._cache_put(coords, data):
             return
         with self._prefetch_lock:
             self._prefetch_pending.add(cache_key)
             self._prefetch_issued += 1
         count("store.read.prefetch_issued")
 
+    def _harvest_hints(self) -> None:
+        """Collect async hint decodes that have finished and admit their
+        chunks. Non-blocking: tasks still running stay in flight (the
+        read path never waits on read-ahead), and a decode that failed
+        is dropped silently, same as the inline path."""
+        with self._prefetch_lock:
+            if not self._prefetch_inflight:
+                return
+            inflight, self._prefetch_inflight = self._prefetch_inflight, []
+        ready, still = [], []
+        for rec in inflight:
+            (ready if rec[4].done() else still).append(rec)
+        if still:
+            with self._prefetch_lock:
+                self._prefetch_inflight.extend(still)
+        for key, reader, coords, cache_key, task in ready:
+            try:
+                data = task.result()
+            except Exception:
+                continue
+            self._admit_hint(key, reader, coords, cache_key, data)
+
     def prefetch_stats(self) -> PrefetchStats:
         """A :class:`PrefetchStats` snapshot (all zeros when the
-        prefetcher is off)."""
+        prefetcher is off). Harvests finished async hints first, so the
+        snapshot reflects every decode that has completed by now."""
+        self._harvest_hints()
         with self._prefetch_lock:
             return PrefetchStats(
                 issued=self._prefetch_issued,
@@ -426,7 +491,15 @@ class StoreCatalog:
     # -- lifecycle ---------------------------------------------------------------
 
     def close(self) -> None:
-        """Close every open reader, drop the cache, shut the pool down."""
+        """Close every open reader, drop the cache, shut the pool down.
+        In-flight hint decodes are cancelled, not awaited — read-ahead
+        for requests that will never come is not worth waiting on (a
+        hint already running on a worker finishes with the pool's
+        shutdown, its result discarded)."""
+        with self._prefetch_lock:
+            inflight, self._prefetch_inflight = self._prefetch_inflight, []
+        for rec in inflight:
+            rec[4].cancel()
         with self._lock:
             readers, self._readers = list(self._readers.values()), {}
         for reader in readers:

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.encoding.bitstream import BitReader, BitWriter
+from repro.encoding.bitstream import BitReader, BitWriter, pack_uint_array
 
 
 class TestBitWriter:
@@ -72,6 +72,71 @@ class TestBitWriter:
         w.write_bits(big, 64)
         r = BitReader(w.getvalue())
         assert r.read_bits(64) == big
+
+
+class TestPackedRuns:
+    """The fused pipelines' fast path: :func:`pack_uint_array` /
+    :meth:`BitWriter.write_packed` / :meth:`BitWriter.compact` /
+    :meth:`BitReader.seek` must be bit-identical to the primitives they
+    bypass — byte identity of whole compressor streams rests on it."""
+
+    @pytest.mark.parametrize("nbits", [1, 7, 8, 13, 17, 32, 41, 64])
+    def test_pack_matches_write_uint_array(self, rng, nbits):
+        vals = rng.integers(0, 1 << min(nbits, 62), size=200, dtype=np.uint64)
+        vals[0] = 0
+        vals[-1] = np.uint64((1 << nbits) - 1)  # all-ones field
+        ref, fast = BitWriter(), BitWriter()
+        ref.write_uint_array(vals, nbits)
+        fast.write_packed(pack_uint_array(vals, nbits))
+        assert fast.bit_length == ref.bit_length == nbits * vals.size
+        assert fast.getvalue() == ref.getvalue()
+
+    def test_pack_at_unaligned_offset(self, rng):
+        vals = rng.integers(0, 1 << 11, size=50, dtype=np.uint64)
+        for prefix in range(1, 8):
+            ref, fast = BitWriter(), BitWriter()
+            for w in (ref, fast):
+                w.write_bits(1, prefix)
+            ref.write_uint_array(vals, 11)
+            fast.write_packed(pack_uint_array(vals, 11))
+            assert fast.getvalue() == ref.getvalue()
+
+    def test_pack_empty_and_zero_width(self):
+        assert pack_uint_array(np.zeros(0, dtype=np.uint64), 13).nbits == 0
+        assert pack_uint_array(np.arange(4, dtype=np.uint64), 0).nbits == 0
+        w = BitWriter()
+        w.write_packed(pack_uint_array(np.zeros(0, dtype=np.uint64), 13))
+        assert w.getvalue() == b""
+
+    def test_pack_rejects_oversized_width(self):
+        with pytest.raises(ValueError, match="nbits"):
+            pack_uint_array(np.arange(4, dtype=np.uint64), 65)
+
+    def test_compact_per_tile_preserves_bytes(self, rng):
+        """Compacting after every tile (what the fused loops do to bound
+        writer memory) never changes the emitted stream."""
+        ref, tiled = BitWriter(), BitWriter()
+        for _ in range(5):
+            bits = rng.integers(0, 2, size=37).astype(bool)
+            ref.write_bit_array(bits)
+            tiled.write_bit_array(bits)
+            tiled.compact()
+        tiled.compact()  # idempotent on an already-packed writer
+        assert tiled.getvalue() == ref.getvalue()
+
+    def test_seek_random_access(self, rng):
+        vals = rng.integers(0, 1 << 9, size=64, dtype=np.uint64)
+        w = BitWriter()
+        w.write_uint_array(vals, 9)
+        r = BitReader(w.getvalue())
+        r.seek(9 * 10)
+        np.testing.assert_array_equal(r.read_uint_array(5, 9), vals[10:15])
+        r.seek(0)
+        np.testing.assert_array_equal(r.read_uint_array(64, 9), vals)
+        with pytest.raises(ValueError, match="seek"):
+            r.seek(10**9)
+        with pytest.raises(ValueError, match="seek"):
+            r.seek(-1)
 
 
 class TestBitReader:

@@ -1,0 +1,176 @@
+"""Fused tile-streamed pipelines vs the frozen whole-array oracles.
+
+The production compressors (:mod:`repro.compressors.sz3`,
+:mod:`repro.compressors.sperr`, :mod:`repro.compressors.szx`) stream
+tile-by-tile with a bounded working set; the pre-fusion whole-array
+implementations are frozen in :mod:`repro.compressors.reference` as
+oracles. The contract is *byte identity*, not closeness: for every field
+kind, shape, tile size, and error bound, the fused payload and metadata
+must equal the oracle's exactly, streams must cross-decode (fused decoder
+on oracle payload and vice versa), and inputs the oracle rejects must be
+rejected with the same exception. Randomness comes from ``property_rng``
+(reproduce failures with ``REPRO_TEST_SEED=<seed> pytest ...``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compressors.reference import (
+    ReferenceSPERRCompressor,
+    ReferenceSZ3Compressor,
+    ReferenceSZXCompressor,
+)
+from repro.compressors.sperr import SPERRCompressor
+from repro.compressors.sz3 import SZ3Compressor
+from repro.compressors.szx import SZXCompressor
+
+
+def _field(rng: np.random.Generator, kind: str, shape: tuple[int, ...]) -> np.ndarray:
+    if kind == "smooth":
+        x = rng.standard_normal(shape)
+        for axis in range(len(shape)):
+            x = np.cumsum(x, axis=axis)
+        return x / (4.0 * len(shape))
+    if kind == "rough":
+        return rng.standard_normal(shape)
+    if kind == "constant":
+        return np.full(shape, 3.25)
+    if kind == "plateau":
+        # constant background with a noisy patch: exercises szx's
+        # constant-block fast path and the mixed-width groups together
+        x = np.full(shape, -1.5)
+        flat = x.reshape(-1)
+        n = flat.size
+        flat[n // 3 : 2 * n // 3] += rng.standard_normal(2 * n // 3 - n // 3)
+        return x
+    raise ValueError(kind)
+
+
+def assert_identical(fused, ref, data: np.ndarray, eb: float) -> None:
+    """Fused and oracle agree on bytes, metadata, and rejections."""
+    try:
+        expected = ref.compress(data, eb)
+    except Exception as exc:
+        with pytest.raises(type(exc), match=None) as info:
+            fused.compress(data, eb)
+        assert str(info.value) == str(exc)
+        return
+    got = fused.compress(data, eb)
+    assert got.payload == expected.payload
+    assert got.metadata == expected.metadata
+    # cross-decode: either side's stream through the other's decoder
+    fused_dec = fused.decompress(expected)
+    ref_dec = ref.decompress(got)
+    np.testing.assert_array_equal(fused_dec, ref_dec)
+    np.testing.assert_array_equal(fused_dec, fused.decompress(got))
+    assert np.abs(fused_dec - data).max() <= eb * (1 + 1e-9)
+
+
+SHAPES = [(257,), (33, 18), (20, 24, 28), (8, 8, 8), (64, 3)]
+KINDS = ["smooth", "rough", "constant", "plateau"]
+
+
+class TestSZ3Fused:
+    @pytest.mark.parametrize("predictor", ["interp", "lorenzo"])
+    @pytest.mark.parametrize("entropy", ["huffman", "range"])
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_identity_across_shapes(self, property_rng, predictor, entropy, shape):
+        data = _field(property_rng, "smooth", shape)
+        assert_identical(
+            SZ3Compressor(predictor=predictor, entropy=entropy),
+            ReferenceSZ3Compressor(predictor=predictor, entropy=entropy),
+            data,
+            1e-3,
+        )
+
+    @pytest.mark.parametrize("kind", KINDS)
+    @pytest.mark.parametrize("eb", [1e-6, 1e-2, 0.5])
+    def test_identity_across_fields_and_bounds(self, property_rng, kind, eb):
+        data = _field(property_rng, kind, (20, 24, 28))
+        assert_identical(
+            SZ3Compressor(), ReferenceSZ3Compressor(), data, eb
+        )
+
+    @pytest.mark.parametrize("tile_symbols", [1, 501, 1 << 18])
+    @pytest.mark.parametrize("predictor", ["interp", "lorenzo"])
+    def test_tile_size_never_changes_the_stream(
+        self, property_rng, tile_symbols, predictor
+    ):
+        """The tile boundary is an implementation detail: any tile size,
+        including the degenerate one-row-at-a-time stream, produces the
+        oracle's exact bytes."""
+        data = _field(property_rng, "smooth", (14, 19, 11))
+        assert_identical(
+            SZ3Compressor(predictor=predictor, tile_symbols=tile_symbols),
+            ReferenceSZ3Compressor(predictor=predictor),
+            data,
+            1e-3,
+        )
+
+    def test_rejects_eb_below_precision_like_the_oracle(self, property_rng):
+        data = 1e9 * _field(property_rng, "rough", (40, 40))
+        assert_identical(
+            SZ3Compressor(predictor="lorenzo"),
+            ReferenceSZ3Compressor(predictor="lorenzo"),
+            data,
+            1e-12,
+        )
+
+    def test_tile_symbols_validated(self):
+        with pytest.raises(ValueError, match="tile_symbols"):
+            SZ3Compressor(tile_symbols=0)
+
+
+class TestSPERRFused:
+    @pytest.mark.parametrize("chunk_edge", [None, 8, 16])
+    @pytest.mark.parametrize("shape", [(17, 13), (20, 24, 28), (8, 8, 8), (40,)])
+    def test_identity_including_edge_clipped_chunks(
+        self, property_rng, chunk_edge, shape
+    ):
+        data = _field(property_rng, "smooth", shape)
+        assert_identical(
+            SPERRCompressor(chunk_edge=chunk_edge),
+            ReferenceSPERRCompressor(chunk_edge=chunk_edge),
+            data,
+            1e-2,
+        )
+
+    @pytest.mark.parametrize("kind", KINDS)
+    @pytest.mark.parametrize("eb", [1e-4, 0.3])
+    def test_identity_across_fields_and_bounds(self, property_rng, kind, eb):
+        data = _field(property_rng, kind, (20, 24, 28))
+        assert_identical(
+            SPERRCompressor(chunk_edge=16),
+            ReferenceSPERRCompressor(chunk_edge=16),
+            data,
+            eb,
+        )
+
+    @pytest.mark.parametrize("quant_factor", [0.25, 1.0])
+    def test_identity_across_quant_factors(self, property_rng, quant_factor):
+        data = _field(property_rng, "smooth", (24, 24))
+        assert_identical(
+            SPERRCompressor(quant_factor=quant_factor, chunk_edge=16),
+            ReferenceSPERRCompressor(quant_factor=quant_factor, chunk_edge=16),
+            data,
+            1e-3,
+        )
+
+
+class TestSZXFused:
+    @pytest.mark.parametrize("kind", KINDS)
+    @pytest.mark.parametrize(
+        "shape", [(256,), (300,), (20, 24, 28), (5,), (127,)]
+    )
+    def test_identity_across_block_alignments(self, property_rng, kind, shape):
+        """Sizes that divide the block, leave a ragged tail block, or fit
+        in less than one block all match the oracle byte-for-byte."""
+        data = _field(property_rng, kind, shape)
+        assert_identical(SZXCompressor(), ReferenceSZXCompressor(), data, 1e-2)
+
+    @pytest.mark.parametrize("eb", [1e-6, 1e-3, 0.5])
+    def test_identity_across_bounds(self, property_rng, eb):
+        data = _field(property_rng, "plateau", (20, 24, 28))
+        assert_identical(SZXCompressor(), ReferenceSZXCompressor(), data, eb)

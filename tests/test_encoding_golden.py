@@ -22,6 +22,9 @@ from pathlib import Path
 import numpy as np
 import pytest
 
+from repro.compressors.sperr import SPERRCompressor
+from repro.compressors.sz3 import SZ3Compressor
+from repro.compressors.szx import SZXCompressor
 from repro.encoding.bitstream import BitReader, BitWriter
 from repro.encoding.huffman import HuffmanCodec
 from repro.encoding.lz77 import lz77_compress, lz77_decompress
@@ -31,6 +34,20 @@ from repro.encoding.rle import rle_bytes_decode, rle_bytes_encode
 GOLDEN_DIR = Path(__file__).parent / "data" / "golden"
 _SEED = 20260805
 _CENTER = 256  # SZ3-like symbol offset for the quantization-code fixture
+_FIELD_EB = 1e-3
+
+#: Whole-compressor golden payloads: the fused tile-streamed pipelines
+#: are contractually byte-identical to the frozen oracles *and* to every
+#: stream already on disk — these pin the full payload format (headers,
+#: outlier sections, entropy streams) across history, not just the
+#: entropy-coder primitives above.
+_COMPRESSORS = {
+    "sz3.bin": lambda: SZ3Compressor(),
+    "sz3_range.bin": lambda: SZ3Compressor(entropy="range"),
+    "sz3_lorenzo.bin": lambda: SZ3Compressor(predictor="lorenzo"),
+    "szx.bin": lambda: SZXCompressor(),
+    "sperr.bin": lambda: SPERRCompressor(chunk_edge=16),
+}
 
 
 def _fixture_symbols() -> np.ndarray:
@@ -49,18 +66,31 @@ def _fixture_bytes() -> bytes:
     return text * 3 + noise
 
 
+def _fixture_field() -> np.ndarray:
+    """Deterministic smooth 3-D field for the whole-compressor payloads."""
+    rng = np.random.default_rng(_SEED + 2)
+    x = rng.standard_normal((20, 24, 28))
+    for axis in range(3):
+        x = np.cumsum(x, axis=axis)
+    return x / 12.0
+
+
 def _encode_all() -> dict[str, bytes]:
     syms = _fixture_symbols()
     codec = HuffmanCodec.fit(syms)
     writer = BitWriter()
     codec.encode(syms, writer)
     freq = np.bincount(syms)
-    return {
+    field = _fixture_field()
+    out = {
         "huffman.bin": writer.getvalue(),
         "lz77.bin": lz77_compress(_fixture_bytes()),
         "range.bin": RangeEncoder(freq).encode(syms),
         "rle.bin": rle_bytes_encode(syms, zero_symbol=_CENTER),
     }
+    for name, make in _COMPRESSORS.items():
+        out[name] = make().compress(field, _FIELD_EB).payload
+    return out
 
 
 @pytest.fixture(scope="module")
@@ -68,7 +98,10 @@ def encoded() -> dict[str, bytes]:
     return _encode_all()
 
 
-@pytest.mark.parametrize("name", ["huffman.bin", "lz77.bin", "range.bin", "rle.bin"])
+@pytest.mark.parametrize(
+    "name",
+    ["huffman.bin", "lz77.bin", "range.bin", "rle.bin", *_COMPRESSORS],
+)
 def test_encoded_stream_matches_golden(name: str, encoded: dict[str, bytes]) -> None:
     path = GOLDEN_DIR / name
     assert path.exists(), (
@@ -101,6 +134,18 @@ def test_golden_blobs_decode_to_fixture() -> None:
     np.testing.assert_array_equal(
         rle_bytes_decode(rle_blob, zero_symbol=_CENTER), syms
     )
+
+
+@pytest.mark.parametrize("name", sorted(_COMPRESSORS))
+def test_golden_compressor_payloads_decode_within_bound(name: str) -> None:
+    """The committed whole-compressor streams still decode, and to the
+    promised pointwise bound — format *and* semantics are pinned."""
+    data = _fixture_field()
+    comp = _COMPRESSORS[name]()
+    result = comp.compress(data, _FIELD_EB)
+    assert result.payload == (GOLDEN_DIR / name).read_bytes()
+    out = comp.decompress(result)
+    assert np.abs(out - data).max() <= _FIELD_EB * (1 + 1e-9)
 
 
 def _write_golden() -> None:

@@ -90,6 +90,51 @@ class TestDisabledMode:
         assert not obs.enabled()
 
 
+class TestStageClock:
+    """Per-tile stage timing aggregates into *one* span per stage — a
+    fused loop over thousands of tiles must not emit thousands of spans."""
+
+    def test_one_span_per_stage_with_call_counts(self):
+        with obs.capture() as rec:
+            clock = obs.StageClock("compressor.stage", codec="t")
+            for _ in range(3):
+                with clock("predict"):
+                    pass
+                with clock("encode"):
+                    pass
+            clock.add("encode", 0.5, calls=2)
+            clock.emit(tiles=3)
+        assert sorted(r.name for r in rec.roots) == [
+            "compressor.stage.encode",
+            "compressor.stage.predict",
+        ]
+        by_name = {r.name: r for r in rec.roots}
+        predict = by_name["compressor.stage.predict"]
+        assert predict.attrs["calls"] == 3
+        assert predict.attrs["codec"] == "t"
+        assert predict.attrs["tiles"] == 3
+        encode = by_name["compressor.stage.encode"]
+        assert encode.attrs["calls"] == 5  # 3 timed blocks + add(calls=2)
+        assert encode.elapsed >= 0.5
+
+    def test_emit_resets_the_clock(self):
+        with obs.capture() as rec:
+            clock = obs.StageClock("x")
+            with clock("a"):
+                pass
+            clock.emit()
+            clock.emit()  # nothing accumulated since the first emit
+        assert len(rec.roots) == 1
+
+    def test_noop_while_disabled(self):
+        clock = obs.StageClock("x")
+        with clock("a"):
+            pass
+        clock.add("b", 1.0)
+        assert clock._seconds == {} and clock._calls == {}
+        clock.emit()  # must not raise (and has nothing to emit)
+
+
 class TestJsonRoundTrip:
     def test_export_and_load(self, tmp_path):
         with obs.capture() as rec:

@@ -14,6 +14,8 @@ Two halves, matching the split in :mod:`repro.store.prefetch`:
   copies, not cache references).
 """
 
+import time
+
 import numpy as np
 import pytest
 
@@ -38,6 +40,19 @@ SLAB_IDS = [list(range(4 * i, 4 * i + 4)) for i in range(5)]
 
 def slab_region(i: int) -> tuple[slice, ...]:
     return (slice(8 * i, 8 * i + 8), slice(None), slice(None))
+
+
+def drain_hints(cat: StoreCatalog, timeout: float = 60.0) -> PrefetchStats:
+    """Harvest until no async hint decode remains in flight."""
+    deadline = time.monotonic() + timeout
+    while True:
+        stats = cat.prefetch_stats()  # each snapshot harvests finished decodes
+        with cat._prefetch_lock:
+            if not cat._prefetch_inflight:
+                return stats
+        if time.monotonic() > deadline:
+            raise AssertionError("async prefetch hints never drained")
+        time.sleep(0.02)
 
 
 class TestPrediction:
@@ -236,6 +251,87 @@ class TestIssuance:
             np.testing.assert_array_equal(first, fields["a"][first_sel])
             for tile_sel, tile in it:
                 np.testing.assert_array_equal(tile, fields["a"][tile_sel])
+
+    def test_async_hint_decodes_land_in_cache_and_hit(self, store_root):
+        """With a decode pool, hints are *submitted* (not run inline) and
+        harvested before the next request: once the in-flight set drains,
+        every predicted chunk was admitted, and the request that follows
+        consumes all of them from cache."""
+        root, fields = store_root
+        options = CatalogOptions(cache_bytes=64 << 20, prefetch_depth=4, workers=1)
+        with StoreCatalog(root, options=options) as cat:
+            for i in range(3):
+                np.testing.assert_array_equal(
+                    cat.read("a", slab_region(i)), fields["a"][slab_region(i)]
+                )
+            stats = drain_hints(cat)  # slab 3's four chunks, decoded async
+            assert stats.issued == 4
+            assert cat.stats().pool.submitted >= 4
+            np.testing.assert_array_equal(
+                cat.read("a", slab_region(3)), fields["a"][slab_region(3)]
+            )
+            stats = cat.prefetch_stats()
+            assert stats.hits == 4 and stats.wasted == 0
+
+    def test_async_prefetch_never_corrupts_inflight_streams(self, store_root):
+        """Async hint decodes landing mid-stream (and the LRU churn they
+        cause in a tiny cache) must not change bytes a read_iter already
+        scheduled — streamed tiles stay fresh copies."""
+        root, fields = store_root
+        chunk_bytes = int(np.prod(CHUNK)) * fields["a"].itemsize
+        options = CatalogOptions(
+            cache_bytes=2 * chunk_bytes + 128, prefetch_depth=4, workers=1
+        )
+        with StoreCatalog(root, options=options) as cat:
+            stream = cat.read_iter("a", max_inflight=8)
+            it = iter(stream)
+            first_sel, first = next(it)  # 7 more tiles already scheduled
+            # churn: the other key's scan submits async hints that evict
+            # everything the tiny LRU holds as they are harvested
+            for i in range(5):
+                cat.read("b", slab_region(i))
+            cat.prefetch_stats()  # harvest whatever finished mid-stream
+            np.testing.assert_array_equal(first, fields["a"][first_sel])
+            for tile_sel, tile in it:
+                np.testing.assert_array_equal(tile, fields["a"][tile_sel])
+
+    def test_close_with_inflight_hints_does_not_hang(self, store_root):
+        root, _ = store_root
+        options = CatalogOptions(cache_bytes=64 << 20, prefetch_depth=4, workers=1)
+        with StoreCatalog(root, options=options) as cat:
+            for i in range(3):
+                cat.read("a", slab_region(i))
+            # exit immediately: slab 3's hint decodes may still be running;
+            # close() cancels them — reaching the assertion is the test
+        assert cat.prefetch_stats().wasted >= 0
+
+    def test_reregistration_mid_flight_never_serves_stale_bytes(self, store_root):
+        """Re-pointing a key while its hint decodes are still on the pool
+        must not let the old store's chunks serve the new key (the admit
+        path drops hints whose reader was retired)."""
+        root, fields = store_root
+        options = CatalogOptions(cache_bytes=64 << 20, prefetch_depth=4, workers=1)
+        with StoreCatalog(root, options=options) as cat:
+            for i in range(3):
+                cat.read("a", slab_region(i))  # slab 3 hints now in flight
+            cat.register("a", root / "b.rps")
+            for i in range(5):
+                np.testing.assert_array_equal(
+                    cat.read("a", slab_region(i)), fields["b"][slab_region(i)]
+                )
+            drain_hints(cat)
+
+    def test_pool_task_done(self, store_root):
+        from repro.serve.pool import WorkerPool
+
+        with WorkerPool(0) as pool:
+            task = pool.submit(int, "7")
+            assert task.done()  # deferred in-process tasks are always ready
+            assert task.result() == 7
+        with WorkerPool(1) as pool:
+            task = pool.submit(int, "7")
+            assert task.result() == 7
+            assert task.done()
 
     def test_reregistration_forgets_history(self, store_root, tmp_path):
         root, fields = store_root
